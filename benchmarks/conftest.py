@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+EXPERIMENTS.md for the index) and — where the paper's "result" is a worked
+example rather than a measurement — asserts that the regenerated content
+matches the paper before timing the code path that produces it.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).resolve().parent.parent / "src"))
+
+from repro.stratum import TemporalDatabase, TemporalQueryOptimizer
+from repro.workloads import (
+    employee_relation,
+    project_relation,
+    scaled_paper_workload,
+)
+
+#: The motivating query of the paper, in the front end's dialect.
+PAPER_STATEMENT = (
+    "SELECT DISTINCT EmpName FROM EMPLOYEE "
+    "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+    "ORDER BY EmpName COALESCE"
+)
+
+
+def make_paper_database(optimize_queries: bool = True, max_plans: int = 2000) -> TemporalDatabase:
+    """A TemporalDatabase loaded with the Figure 1 relations."""
+    database = TemporalDatabase(
+        optimizer=TemporalQueryOptimizer(max_plans=max_plans),
+        optimize_queries=optimize_queries,
+    )
+    database.register("EMPLOYEE", employee_relation())
+    database.register("PROJECT", project_relation())
+    return database
+
+
+def make_scaled_database(scale: int, optimize_queries: bool = True, max_plans: int = 500) -> TemporalDatabase:
+    """A TemporalDatabase loaded with a scaled EMPLOYEE/PROJECT workload."""
+    employees, projects = scaled_paper_workload(scale)
+    database = TemporalDatabase(
+        optimizer=TemporalQueryOptimizer(max_plans=max_plans),
+        optimize_queries=optimize_queries,
+    )
+    database.register("EMPLOYEE", employees)
+    database.register("PROJECT", projects)
+    return database
+
+
+@pytest.fixture
+def paper_db():
+    return make_paper_database()
+
+
+@pytest.fixture
+def paper_statement():
+    return PAPER_STATEMENT
+
+
+def banner(title: str) -> str:
+    line = "=" * len(title)
+    return f"\n{line}\n{title}\n{line}"

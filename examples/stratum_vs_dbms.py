@@ -1,0 +1,63 @@
+"""Where should temporal work run?  Stratum vs. conventional DBMS, measured.
+
+The paper's stratum architecture exists because conventional DBMSs process
+complex temporal operations (coalescing, temporal duplicate elimination,
+temporal difference) poorly.  This example makes the trade-off concrete on a
+scaled synthetic workload: the same motivating query is executed
+
+* entirely inside the conventional DBMS (the initial plan — temporal
+  operations emulated with the specification-level algorithms), and
+* with the optimizer's chosen plan, where the stratum runs the temporal
+  operations with its hash-partitioned algorithms,
+
+and the wall-clock times, emulation counts and transfer volumes are reported.
+
+Run with::
+
+    python examples/stratum_vs_dbms.py
+"""
+
+import time
+
+from repro.stratum import TemporalDatabase, TemporalQueryOptimizer
+from repro.workloads import scaled_paper_workload
+
+QUERY = (
+    "SELECT DISTINCT EmpName FROM EMPLOYEE "
+    "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+    "ORDER BY EmpName COALESCE"
+)
+
+
+def run(scale: int, optimize: bool):
+    employees, projects = scaled_paper_workload(scale)
+    database = TemporalDatabase(
+        optimizer=TemporalQueryOptimizer(max_plans=300), optimize_queries=optimize
+    )
+    database.register("EMPLOYEE", employees)
+    database.register("PROJECT", projects)
+    started = time.perf_counter()
+    outcome = database.execute(QUERY)
+    elapsed = time.perf_counter() - started
+    return outcome, elapsed
+
+
+def main() -> None:
+    print(f"{'scale':>6} {'engine placement':<28} {'time':>9} {'emulated ops':>13} {'tuples moved':>13} {'result':>7}")
+    for scale in (20, 60, 120):
+        for optimize, label in ((False, "initial plan (all in DBMS)"), (True, "optimized (stratum + DBMS)")):
+            outcome, elapsed = run(scale, optimize)
+            print(
+                f"{scale:>6} {label:<28} {elapsed:>8.3f}s "
+                f"{len(outcome.report.dbms_emulated_operations):>13} "
+                f"{outcome.report.transferred_tuples:>13} "
+                f"{outcome.relation.cardinality:>7}"
+            )
+    print(
+        "\nThe optimized plan avoids emulating temporal operations inside the DBMS, "
+        "which is exactly the effect the paper's layered architecture is designed to exploit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of Slivinskas, Jensen & Snodgrass (ICDE 2000).
+
+*Query Plans for Conventional and Temporal Queries Involving Duplicates and
+Ordering* describes an algebraic foundation for optimizing conventional and
+temporal queries with first-class treatment of duplicates, tuple order and
+coalescing.  This package implements that foundation end to end:
+
+``repro.core``
+    the list-based temporally extended algebra, the six equivalence types,
+    the transformation-rule catalogue, the Table 2 operation properties, the
+    plan enumeration algorithm, and a cost model for plan selection.
+
+``repro.dbms``
+    a conventional (multiset-semantics) in-memory DBMS substrate: catalog,
+    iterator-based executor, its own optimizer and a SQL generator for plan
+    fragments shipped to it.
+
+``repro.stratum``
+    the temporal layer on top of the DBMS: efficient implementations of the
+    temporal operations, partitioning of plans at the transfer operations,
+    and the end-to-end temporal query service.
+
+``repro.tsql``
+    a small temporal SQL front end that produces initial algebra plans.
+
+``repro.workloads``
+    the paper's example relations and scalable synthetic temporal workloads
+    used by the examples, tests and benchmarks.
+
+Quick start::
+
+    from repro import TemporalDatabase
+    from repro.workloads import employee_relation, project_relation
+
+    db = TemporalDatabase()
+    db.register("EMPLOYEE", employee_relation())
+    db.register("PROJECT", project_relation())
+    result = db.query(
+        "SELECT EmpName FROM EMPLOYEE "
+        "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+        "ORDER BY EmpName COALESCE"
+    )
+    print(result.to_table())
+"""
+
+from . import core
+from .core import *  # noqa: F401,F403 - the core API is the package API
+from .core import __all__ as _core_all
+from .stratum import TemporalDatabase
+
+__version__ = "1.0.0"
+
+__all__ = ["TemporalDatabase", "__version__"] + list(_core_all)

@@ -1,0 +1,257 @@
+"""Cardinality estimation and a cost model for plan selection.
+
+The paper stops at generating equivalent plans and explicitly defers
+"heuristics and cost estimation techniques" to future work (Section 7); this
+module supplies that missing piece so that the library can actually *pick* a
+plan, and so that the stratum-vs-DBMS trade-offs the running example argues
+about qualitatively ("the sort operation was pushed down because the DBMS
+sorts faster than the stratum", "coalescing is performed before difference
+because the left argument is expected to be smaller") can be explored
+quantitatively in the benchmarks.
+
+The model is deliberately simple and transparent:
+
+* cardinalities are estimated bottom-up from catalog statistics with fixed
+  selectivities (overridable per query);
+* each operator contributes work proportional to the tuples it consumes and
+  produces, with an ``n log n`` term for sorting and pairwise terms for the
+  products and the value-matching temporal operations;
+* operators executing in the DBMS (below a ``TS`` transfer in the plan) are
+  scaled by an engine speed factor — the DBMS is faster for conventional
+  operations, while temporal operations it would have to emulate are
+  penalised;
+* every transfer contributes a per-tuple shipping cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
+
+from .operations import (
+    Aggregation,
+    BaseRelation,
+    CartesianProduct,
+    Coalescing,
+    Difference,
+    DuplicateElimination,
+    Join,
+    LiteralRelation,
+    Operation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalAggregation,
+    TemporalCartesianProduct,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalJoin,
+    TemporalUnion,
+    TransferToDBMS,
+    TransferToStratum,
+    Union,
+    UnionAll,
+)
+
+#: Default selectivity assumed for selections and join predicates.
+DEFAULT_SELECTIVITY = 0.33
+#: Default fraction of tuple pairs whose periods overlap in temporal products.
+DEFAULT_OVERLAP_FRACTION = 0.1
+#: Default cardinality assumed for base relations missing from the statistics.
+DEFAULT_BASE_CARDINALITY = 1000.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the cost model.
+
+    ``dbms_speed`` < 1 makes conventional work cheaper in the DBMS than in
+    the stratum (the paper's assumption); ``dbms_temporal_penalty`` > 1
+    models the inefficiency of emulating temporal operations in a
+    conventional engine; ``transfer_cost`` is the per-tuple cost of a
+    ``TS``/``TD`` shipment between the engines.
+    """
+
+    selectivity: float = DEFAULT_SELECTIVITY
+    overlap_fraction: float = DEFAULT_OVERLAP_FRACTION
+    dbms_speed: float = 0.25
+    dbms_temporal_penalty: float = 5.0
+    transfer_cost: float = 0.5
+    default_base_cardinality: float = DEFAULT_BASE_CARDINALITY
+
+
+@dataclass
+class PlanCost:
+    """The estimated cost of a plan, with a per-operator breakdown."""
+
+    total: float
+    output_cardinality: float
+    breakdown: List[PyTuple[str, str, float]] = field(default_factory=list)
+    """``(operator label, engine, cost)`` per node in pre-order."""
+
+    def __float__(self) -> float:
+        return self.total
+
+
+class Engine:
+    """Engine labels used by the cost breakdown and the partitioner."""
+
+    STRATUM = "stratum"
+    DBMS = "dbms"
+
+
+def estimate_cardinality(
+    plan: Operation,
+    statistics: Optional[Mapping[str, int]] = None,
+    model: Optional[CostModel] = None,
+) -> float:
+    """Estimate the result cardinality of ``plan`` from base-table statistics."""
+    model = model or CostModel()
+    statistics = statistics or {}
+
+    def estimate(node: Operation) -> float:
+        if isinstance(node, BaseRelation):
+            return float(statistics.get(node.relation_name, model.default_base_cardinality))
+        if isinstance(node, LiteralRelation):
+            return float(len(node.relation))
+        child_estimates = [estimate(child) for child in node.children]
+        return _estimate_operator(node, child_estimates, model)
+
+    return estimate(plan)
+
+
+def _estimate_operator(node: Operation, child_estimates: Sequence[float], model: CostModel) -> float:
+    if isinstance(node, (Selection,)):
+        return child_estimates[0] * model.selectivity
+    if isinstance(node, (Join, TemporalJoin)):
+        return child_estimates[0] * child_estimates[1] * model.selectivity * (
+            model.overlap_fraction if isinstance(node, TemporalJoin) else 1.0
+        )
+    if isinstance(node, Projection):
+        return child_estimates[0]
+    if isinstance(node, Sort):
+        return child_estimates[0]
+    if isinstance(node, (TransferToDBMS, TransferToStratum)):
+        return child_estimates[0]
+    if isinstance(node, (DuplicateElimination,)):
+        return child_estimates[0] * 0.8
+    if isinstance(node, TemporalDuplicateElimination):
+        return child_estimates[0]
+    if isinstance(node, Coalescing):
+        return child_estimates[0] * 0.7
+    if isinstance(node, (Aggregation, TemporalAggregation)):
+        return max(1.0, child_estimates[0] * 0.2)
+    if isinstance(node, CartesianProduct):
+        return child_estimates[0] * child_estimates[1]
+    if isinstance(node, TemporalCartesianProduct):
+        return child_estimates[0] * child_estimates[1] * model.overlap_fraction
+    if isinstance(node, Difference):
+        return max(0.0, child_estimates[0] - 0.5 * child_estimates[1])
+    if isinstance(node, TemporalDifference):
+        return child_estimates[0] * 0.6
+    if isinstance(node, UnionAll):
+        return child_estimates[0] + child_estimates[1]
+    if isinstance(node, (Union, TemporalUnion)):
+        return max(child_estimates) + 0.5 * min(child_estimates)
+    return child_estimates[0] if child_estimates else 1.0
+
+
+def _operator_work(node: Operation, inputs: Sequence[float], output: float, model: CostModel) -> float:
+    """CPU work of one operator, in abstract per-tuple units."""
+    total_input = sum(inputs)
+    if isinstance(node, (BaseRelation, LiteralRelation)):
+        return output
+    if isinstance(node, Sort):
+        size = max(2.0, inputs[0])
+        return size * math.log2(size)
+    if isinstance(node, (TransferToDBMS, TransferToStratum)):
+        return model.transfer_cost * inputs[0]
+    if isinstance(node, (CartesianProduct, TemporalCartesianProduct, Join, TemporalJoin)):
+        return inputs[0] * inputs[1] + output
+    if isinstance(node, (TemporalDifference, TemporalUnion)):
+        # Value matching between the two inputs (hash partitioning by value
+        # part) plus fragment construction.
+        return total_input + output + inputs[0] * model.overlap_fraction * inputs[1]
+    if isinstance(node, (TemporalDuplicateElimination, Coalescing)):
+        size = max(2.0, inputs[0])
+        return size * math.log2(size) + output
+    if isinstance(node, (DuplicateElimination, Aggregation, TemporalAggregation, Union, Difference)):
+        return total_input + output
+    # Selection, projection, union ALL and anything else: streaming work.
+    return total_input + output
+
+
+def _engine_factor(node: Operation, engine: str, model: CostModel) -> float:
+    if engine == Engine.STRATUM:
+        return 1.0
+    if node.is_temporal_operator or isinstance(node, Coalescing):
+        return model.dbms_temporal_penalty
+    return model.dbms_speed
+
+
+def estimate_cost(
+    plan: Operation,
+    statistics: Optional[Mapping[str, int]] = None,
+    model: Optional[CostModel] = None,
+) -> PlanCost:
+    """Estimate the execution cost of ``plan``.
+
+    The engine executing each node is derived from the transfer operations in
+    the plan: the root runs in the stratum, everything below a ``TS`` runs in
+    the DBMS, and a ``TD`` below that switches back to the stratum.
+    """
+    model = model or CostModel()
+    statistics = statistics or {}
+    breakdown: List[PyTuple[str, str, float]] = []
+
+    def visit(node: Operation, engine: str) -> PyTuple[float, float]:
+        """Return (cumulative cost, estimated output cardinality)."""
+        child_engine = engine
+        if isinstance(node, TransferToStratum):
+            child_engine = Engine.DBMS
+        elif isinstance(node, TransferToDBMS):
+            child_engine = Engine.STRATUM
+        child_costs: List[float] = []
+        child_cards: List[float] = []
+        for child in node.children:
+            cost, cardinality = visit(child, child_engine)
+            child_costs.append(cost)
+            child_cards.append(cardinality)
+        if isinstance(node, BaseRelation):
+            output = float(statistics.get(node.relation_name, model.default_base_cardinality))
+        elif isinstance(node, LiteralRelation):
+            output = float(len(node.relation))
+        else:
+            output = _estimate_operator(node, child_cards, model)
+        work = _operator_work(node, child_cards, output, model) * _engine_factor(node, engine, model)
+        breakdown.append((node.label(), engine, work))
+        return sum(child_costs) + work, output
+
+    total, output = visit(plan, Engine.STRATUM)
+    return PlanCost(total=total, output_cardinality=output, breakdown=list(reversed(breakdown)))
+
+
+def choose_best_plan(
+    plans: Iterable[Operation],
+    statistics: Optional[Mapping[str, int]] = None,
+    model: Optional[CostModel] = None,
+) -> PyTuple[Operation, PlanCost]:
+    """Pick the cheapest plan among ``plans`` under the cost model.
+
+    Ties are broken by plan size (fewer operators first) and then by the
+    plan's structural signature, keeping selection deterministic.
+    """
+    best: Optional[PyTuple[Operation, PlanCost]] = None
+    for plan in plans:
+        cost = estimate_cost(plan, statistics, model)
+        if best is None:
+            best = (plan, cost)
+            continue
+        current_key = (cost.total, plan.size(), repr(plan.signature()))
+        best_key = (best[1].total, best[0].size(), repr(best[0].signature()))
+        if current_key < best_key:
+            best = (plan, cost)
+    if best is None:
+        raise ValueError("choose_best_plan requires at least one plan")
+    return best

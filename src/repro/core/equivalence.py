@@ -1,0 +1,228 @@
+"""The six relation equivalence types and the Theorem 3.1 implication lattice.
+
+Section 3 of the paper distinguishes six ways two relations can be "the
+same":
+
+=====================  =======  ==========================================
+equivalence            symbol   meaning
+=====================  =======  ==========================================
+list equivalence       ≡L       identical lists (order and duplicates)
+multiset equivalence   ≡M       identical multisets (duplicates, no order)
+set equivalence        ≡S       identical sets (no duplicates, no order)
+snapshot list          ≡SL      every snapshot pair is ≡L
+snapshot multiset      ≡SM      every snapshot pair is ≡M
+snapshot set           ≡SS      every snapshot pair is ≡S
+=====================  =======  ==========================================
+
+The snapshot equivalences are defined for temporal relations only.  Theorem
+3.1 orders the equivalences by implication:
+
+    ≡L ⇒ ≡M ⇒ ≡S, and (for temporal relations) ≡L ⇒ ≡SL, ≡M ⇒ ≡SM,
+    ≡S ⇒ ≡SS, ≡SL ⇒ ≡SM ⇒ ≡SS.
+
+Transformation rules are tagged with the *strongest* equivalence type they
+preserve, and Definition 5.1 determines which type a query requires at a
+given location; the implication lattice is what makes a strong rule usable
+wherever a weaker guarantee suffices.
+
+Because snapshots of a temporal relation can only change at period
+endpoints, the snapshot equivalences are checked at the finitely many
+*interesting* time points of both relations instead of at every point of the
+time domain; this keeps the checks granularity independent.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set
+
+from .exceptions import TemporalSchemaError
+from .order_spec import OrderSpec
+from .relation import Relation
+
+
+class EquivalenceType(Enum):
+    """The six equivalence types of Section 3, strongest to weakest."""
+
+    LIST = "L"
+    MULTISET = "M"
+    SET = "S"
+    SNAPSHOT_LIST = "SL"
+    SNAPSHOT_MULTISET = "SM"
+    SNAPSHOT_SET = "SS"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"≡{self.value}"
+
+
+#: Direct implications of Theorem 3.1 (edges of the implication lattice).
+_DIRECT_IMPLICATIONS: Dict[EquivalenceType, FrozenSet[EquivalenceType]] = {
+    EquivalenceType.LIST: frozenset(
+        {EquivalenceType.MULTISET, EquivalenceType.SNAPSHOT_LIST}
+    ),
+    EquivalenceType.MULTISET: frozenset(
+        {EquivalenceType.SET, EquivalenceType.SNAPSHOT_MULTISET}
+    ),
+    EquivalenceType.SET: frozenset({EquivalenceType.SNAPSHOT_SET}),
+    EquivalenceType.SNAPSHOT_LIST: frozenset({EquivalenceType.SNAPSHOT_MULTISET}),
+    EquivalenceType.SNAPSHOT_MULTISET: frozenset({EquivalenceType.SNAPSHOT_SET}),
+    EquivalenceType.SNAPSHOT_SET: frozenset(),
+}
+
+
+def implied_types(equivalence: EquivalenceType) -> FrozenSet[EquivalenceType]:
+    """All equivalence types implied by ``equivalence`` (including itself).
+
+    This is the transitive closure of the Theorem 3.1 lattice.  Note that for
+    *non-temporal* relations the snapshot types are undefined; the closure is
+    purely about what a rule of the given strength is allowed to stand in for.
+    """
+    closure: Set[EquivalenceType] = {equivalence}
+    frontier: List[EquivalenceType] = [equivalence]
+    while frontier:
+        current = frontier.pop()
+        for implied in _DIRECT_IMPLICATIONS[current]:
+            if implied not in closure:
+                closure.add(implied)
+                frontier.append(implied)
+    return frozenset(closure)
+
+
+def implies(stronger: EquivalenceType, weaker: EquivalenceType) -> bool:
+    """True if ``stronger`` equivalence implies ``weaker`` (Theorem 3.1)."""
+    return weaker in implied_types(stronger)
+
+
+# ---------------------------------------------------------------------------
+# The conventional equivalences
+# ---------------------------------------------------------------------------
+
+
+def list_equivalent(left: Relation, right: Relation) -> bool:
+    """``left ≡L right``: identical schemas and identical tuple sequences."""
+    if left.schema != right.schema:
+        return False
+    return left.as_list() == right.as_list()
+
+
+def multiset_equivalent(left: Relation, right: Relation) -> bool:
+    """``left ≡M right``: identical tuple multisets (order immaterial)."""
+    if left.schema != right.schema:
+        return False
+    return left.as_multiset() == right.as_multiset()
+
+
+def set_equivalent(left: Relation, right: Relation) -> bool:
+    """``left ≡S right``: identical tuple sets (order and duplicates immaterial)."""
+    if left.schema != right.schema:
+        return False
+    return left.as_set() == right.as_set()
+
+
+def list_equivalent_on(left: Relation, right: Relation, order: OrderSpec) -> bool:
+    """``left ≡L,A right`` for ``A`` = ``order`` (Definition 5.1).
+
+    Two relations are ≡L,A equivalent when their projections onto the ORDER BY
+    attributes ``A`` are list equivalent; ≡L implies ≡L,A.  The projections
+    here are positional (tuple by tuple), so the relations must also have the
+    same cardinality.
+    """
+    if left.schema != right.schema:
+        return False
+    if len(left) != len(right):
+        return False
+    attributes = [key.attribute for key in order]
+    for mine, theirs in zip(left, right):
+        for attribute in attributes:
+            if mine[attribute] != theirs[attribute]:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The snapshot equivalences
+# ---------------------------------------------------------------------------
+
+
+def _interesting_points(left: Relation, right: Relation) -> List[int]:
+    points: Set[int] = set(left.interesting_time_points())
+    points.update(right.interesting_time_points())
+    return sorted(points)
+
+
+def _snapshot_equivalent(
+    left: Relation,
+    right: Relation,
+    point_check: Callable[[Relation, Relation], bool],
+) -> bool:
+    if not (left.is_temporal and right.is_temporal):
+        raise TemporalSchemaError(
+            "snapshot equivalences are defined for temporal relations only"
+        )
+    if left.schema != right.schema:
+        return False
+    for time in _interesting_points(left, right):
+        if not point_check(left.snapshot(time), right.snapshot(time)):
+            return False
+    return True
+
+
+def snapshot_list_equivalent(left: Relation, right: Relation) -> bool:
+    """``left ≡SL right``: snapshots at every time are list equivalent."""
+    return _snapshot_equivalent(left, right, list_equivalent)
+
+
+def snapshot_multiset_equivalent(left: Relation, right: Relation) -> bool:
+    """``left ≡SM right``: snapshots at every time are multiset equivalent."""
+    return _snapshot_equivalent(left, right, multiset_equivalent)
+
+
+def snapshot_set_equivalent(left: Relation, right: Relation) -> bool:
+    """``left ≡SS right``: snapshots at every time are set equivalent."""
+    return _snapshot_equivalent(left, right, set_equivalent)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+
+_CHECKS: Dict[EquivalenceType, Callable[[Relation, Relation], bool]] = {
+    EquivalenceType.LIST: list_equivalent,
+    EquivalenceType.MULTISET: multiset_equivalent,
+    EquivalenceType.SET: set_equivalent,
+    EquivalenceType.SNAPSHOT_LIST: snapshot_list_equivalent,
+    EquivalenceType.SNAPSHOT_MULTISET: snapshot_multiset_equivalent,
+    EquivalenceType.SNAPSHOT_SET: snapshot_set_equivalent,
+}
+
+
+def equivalent(equivalence: EquivalenceType, left: Relation, right: Relation) -> bool:
+    """Check whether ``left`` and ``right`` are equivalent at the given type."""
+    return _CHECKS[equivalence](left, right)
+
+
+def strongest_equivalence(left: Relation, right: Relation) -> List[EquivalenceType]:
+    """Return every equivalence type that holds between the two relations.
+
+    Snapshot types are only evaluated when both relations are temporal.  The
+    result is useful for reporting (e.g. the Figure 3 benchmark shows which
+    equivalences hold between R1, R2 and R3).
+    """
+    holds: List[EquivalenceType] = []
+    for equivalence in (
+        EquivalenceType.LIST,
+        EquivalenceType.MULTISET,
+        EquivalenceType.SET,
+    ):
+        if _CHECKS[equivalence](left, right):
+            holds.append(equivalence)
+    if left.is_temporal and right.is_temporal:
+        for equivalence in (
+            EquivalenceType.SNAPSHOT_LIST,
+            EquivalenceType.SNAPSHOT_MULTISET,
+            EquivalenceType.SNAPSHOT_SET,
+        ):
+            if _CHECKS[equivalence](left, right):
+                holds.append(equivalence)
+    return holds

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class.  Exceptions are grouped to mirror the layers of the
+system described in DESIGN.md: data-model errors, algebra errors, rule /
+optimization errors, and engine (DBMS / stratum / front-end) errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Data model
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or used inconsistently.
+
+    Raised for example when an attribute is declared twice, when a tuple does
+    not provide a value for every attribute, or when a value lies outside the
+    declared domain of its attribute.
+    """
+
+
+class PeriodError(ReproError):
+    """A time period is malformed (e.g. end not after start)."""
+
+
+class TemporalSchemaError(SchemaError):
+    """A temporal operation was applied to a non-temporal relation (or the
+    reverse), or the reserved attributes ``T1``/``T2`` are misused."""
+
+
+# ---------------------------------------------------------------------------
+# Algebra
+# ---------------------------------------------------------------------------
+
+
+class AlgebraError(ReproError):
+    """An algebra operation was constructed or evaluated incorrectly."""
+
+
+class ArityError(AlgebraError):
+    """An operation received the wrong number of child operations."""
+
+
+class AttributeNotFound(AlgebraError):
+    """A selection predicate, projection list, sort key or grouping list
+    references an attribute that does not exist in the input schema."""
+
+
+class EvaluationError(AlgebraError):
+    """Reference evaluation of an operator tree failed."""
+
+
+# ---------------------------------------------------------------------------
+# Rules and optimization
+# ---------------------------------------------------------------------------
+
+
+class RuleError(ReproError):
+    """A transformation rule is malformed or was applied where it does not
+    match."""
+
+
+class RuleNotApplicable(RuleError):
+    """A rule was requested at a location where Definition 5.1 forbids it or
+    where its syntactic pattern / preconditions do not hold."""
+
+
+class EnumerationError(ReproError):
+    """The plan enumeration algorithm was configured inconsistently (e.g. a
+    non-terminating rule set without a plan budget)."""
+
+
+# ---------------------------------------------------------------------------
+# Engines
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for physical-execution errors (DBMS substrate or stratum)."""
+
+
+class CatalogError(EngineError):
+    """A table is missing from, or duplicated in, the DBMS catalog."""
+
+
+class SQLGenerationError(EngineError):
+    """An algebra fragment assigned to the DBMS cannot be rendered as SQL."""
+
+
+class PartitionError(EngineError):
+    """A query plan cannot be partitioned between stratum and DBMS (e.g.
+    unbalanced transfer operations)."""
+
+
+class ParseError(ReproError):
+    """The temporal SQL front end could not parse the input statement."""

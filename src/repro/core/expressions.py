@@ -1,0 +1,478 @@
+"""Scalar expressions: selection predicates, projection functions, aggregates.
+
+The transformation rules of the paper need to *inspect* predicates and
+projection lists — for example, rule C3 (commuting coalescing and selection)
+requires that the selection predicate not mention the temporal attributes
+(``T1 ∉ attr(P) ∧ T2 ∉ attr(P)``), and selection push-down over a product
+requires the predicate's attributes to be contained in one argument's schema.
+Expressions are therefore represented as small immutable syntax trees that
+can report the attributes they use (the paper's ``attr`` function), be
+evaluated against a tuple, and be rendered as SQL text when a plan fragment
+is shipped to the conventional DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple as PyTuple
+
+from .exceptions import AttributeNotFound, EvaluationError
+from .tuples import Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expression trees
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    def attributes(self) -> FrozenSet[str]:
+        """The set of attribute names the expression reads (the paper's ``attr``)."""
+        raise NotImplementedError
+
+    def evaluate(self, tup: Tuple) -> Any:
+        """Evaluate the expression against a single tuple."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        """Render the expression as SQL text for the DBMS substrate."""
+        raise NotImplementedError
+
+    # Expressions are value objects: structural equality and hashing are
+    # provided by the dataclass decorators on the concrete classes.
+
+
+@dataclass(frozen=True)
+class AttributeRef(Expression):
+    """A reference to an attribute of the input tuple."""
+
+    name: str
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, tup: Tuple) -> Any:
+        if not tup.schema.has_attribute(self.name):
+            raise AttributeNotFound(
+                f"attribute {self.name!r} not found in schema {tup.schema}"
+            )
+        return tup[self.name]
+
+    def to_sql(self) -> str:
+        return _quote_identifier(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, tup: Tuple) -> Any:
+        return self.value
+
+    def to_sql(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return str(self.value)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+class ComparisonOperator(Enum):
+    """Binary comparison operators usable in predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def apply(self, left: Any, right: Any) -> bool:
+        if self is ComparisonOperator.EQ:
+            return left == right
+        if self is ComparisonOperator.NE:
+            return left != right
+        if self is ComparisonOperator.LT:
+            return left < right
+        if self is ComparisonOperator.LE:
+            return left <= right
+        if self is ComparisonOperator.GT:
+            return left > right
+        return left >= right
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``left op right`` for a comparison operator."""
+
+    operator: ComparisonOperator
+    left: Expression
+    right: Expression
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, tup: Tuple) -> bool:
+        try:
+            return self.operator.apply(self.left.evaluate(tup), self.right.evaluate(tup))
+        except TypeError as exc:
+            raise EvaluationError(f"cannot evaluate comparison {self}: {exc}") from exc
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.operator.value} {self.right.to_sql()})"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.operator.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction of one or more boolean expressions."""
+
+    operands: PyTuple[Expression, ...]
+
+    def __init__(self, *operands: Expression) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def attributes(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.attributes()
+        return result
+
+    def evaluate(self, tup: Tuple) -> bool:
+        return all(operand.evaluate(tup) for operand in self.operands)
+
+    def to_sql(self) -> str:
+        return "(" + " AND ".join(op.to_sql() for op in self.operands) + ")"
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction of one or more boolean expressions."""
+
+    operands: PyTuple[Expression, ...]
+
+    def __init__(self, *operands: Expression) -> None:
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def attributes(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.attributes()
+        return result
+
+    def evaluate(self, tup: Tuple) -> bool:
+        return any(operand.evaluate(tup) for operand in self.operands)
+
+    def to_sql(self) -> str:
+        return "(" + " OR ".join(op.to_sql() for op in self.operands) + ")"
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({op})" for op in self.operands)
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Negation of a boolean expression."""
+
+    operand: Expression
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.operand.attributes()
+
+    def evaluate(self, tup: Tuple) -> bool:
+        return not self.operand.evaluate(tup)
+
+    def to_sql(self) -> str:
+        return f"(NOT {self.operand.to_sql()})"
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+class ArithmeticOperator(Enum):
+    """Binary arithmetic operators usable in projection functions."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+
+    def apply(self, left: Any, right: Any) -> Any:
+        if self is ArithmeticOperator.ADD:
+            return left + right
+        if self is ArithmeticOperator.SUB:
+            return left - right
+        if self is ArithmeticOperator.MUL:
+            return left * right
+        if right == 0:
+            raise EvaluationError("division by zero in projection expression")
+        return left / right
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """``left op right`` for an arithmetic operator."""
+
+    operator: ArithmeticOperator
+    left: Expression
+    right: Expression
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def evaluate(self, tup: Tuple) -> Any:
+        return self.operator.apply(self.left.evaluate(tup), self.right.evaluate(tup))
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.operator.value} {self.right.to_sql()})"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.operator.value} {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience predicate constructors
+# ---------------------------------------------------------------------------
+
+
+def attribute(name: str) -> AttributeRef:
+    """Shorthand for :class:`AttributeRef`."""
+    return AttributeRef(name)
+
+
+def literal(value: Any) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)
+
+
+def _as_expression(value: Any) -> Expression:
+    return value if isinstance(value, Expression) else Literal(value)
+
+
+def equals(attr: str, value: Any) -> Comparison:
+    """``attr = value`` convenience predicate."""
+    return Comparison(ComparisonOperator.EQ, AttributeRef(attr), _as_expression(value))
+
+
+def not_equals(attr: str, value: Any) -> Comparison:
+    """``attr <> value`` convenience predicate."""
+    return Comparison(ComparisonOperator.NE, AttributeRef(attr), _as_expression(value))
+
+
+def less_than(attr: str, value: Any) -> Comparison:
+    """``attr < value`` convenience predicate."""
+    return Comparison(ComparisonOperator.LT, AttributeRef(attr), _as_expression(value))
+
+
+def greater_than(attr: str, value: Any) -> Comparison:
+    """``attr > value`` convenience predicate."""
+    return Comparison(ComparisonOperator.GT, AttributeRef(attr), _as_expression(value))
+
+
+def between(attr: str, low: Any, high: Any) -> And:
+    """``low <= attr <= high`` convenience predicate."""
+    return And(
+        Comparison(ComparisonOperator.GE, AttributeRef(attr), _as_expression(low)),
+        Comparison(ComparisonOperator.LE, AttributeRef(attr), _as_expression(high)),
+    )
+
+
+TRUE: Expression = Literal(True)
+"""The always-true predicate."""
+
+
+# ---------------------------------------------------------------------------
+# Projection items
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProjectionItem:
+    """One output column of a projection: an expression with an output name.
+
+    A bare attribute keeps its name unless an alias is given; computed
+    expressions must be given an alias.
+    """
+
+    expression: Expression
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        """The attribute name of this item in the projection's output schema."""
+        if self.alias is not None:
+            return self.alias
+        if isinstance(self.expression, AttributeRef):
+            return self.expression.name
+        raise AttributeNotFound(
+            f"projection expression {self.expression} requires an alias"
+        )
+
+    def attributes(self) -> FrozenSet[str]:
+        """Input attributes read by this item."""
+        return self.expression.attributes()
+
+    def is_plain_attribute(self) -> bool:
+        """True if the item simply copies an input attribute."""
+        return isinstance(self.expression, AttributeRef) and (
+            self.alias is None or self.alias == self.expression.name
+        )
+
+    def to_sql(self) -> str:
+        sql = self.expression.to_sql()
+        if self.alias is not None and not (
+            isinstance(self.expression, AttributeRef) and self.alias == self.expression.name
+        ):
+            sql += f" AS {_quote_identifier(self.alias)}"
+        return sql
+
+    def __str__(self) -> str:
+        if self.is_plain_attribute():
+            return self.output_name
+        return f"{self.expression} AS {self.output_name}"
+
+
+def projection_items(*specs: Any) -> PyTuple[ProjectionItem, ...]:
+    """Build projection items from attribute names and/or ``ProjectionItem``s."""
+    items = []
+    for spec in specs:
+        if isinstance(spec, ProjectionItem):
+            items.append(spec)
+        elif isinstance(spec, str):
+            items.append(ProjectionItem(AttributeRef(spec)))
+        elif isinstance(spec, Expression):
+            items.append(ProjectionItem(spec))
+        else:
+            raise TypeError(f"cannot build a projection item from {spec!r}")
+    return tuple(items)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate functions
+# ---------------------------------------------------------------------------
+
+
+class AggregateKind(Enum):
+    """The aggregate functions supported by (temporal) aggregation."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    MIN = "MIN"
+    MAX = "MAX"
+    AVG = "AVG"
+
+
+@dataclass(frozen=True)
+class AggregateFunction:
+    """An aggregate function ``F`` of the aggregation operator.
+
+    ``argument`` is the attribute aggregated over; ``None`` means ``COUNT(*)``.
+    ``alias`` names the output attribute; a default of ``kind_argument`` (e.g.
+    ``sum_Salary``) is used when omitted.
+    """
+
+    kind: AggregateKind
+    argument: Optional[str] = None
+    alias: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is not AggregateKind.COUNT and self.argument is None:
+            raise AttributeNotFound(f"{self.kind.value} requires an argument attribute")
+
+    @property
+    def output_name(self) -> str:
+        """The output attribute name of this aggregate."""
+        if self.alias is not None:
+            return self.alias
+        if self.argument is None:
+            return "count"
+        return f"{self.kind.value.lower()}_{self.argument}"
+
+    def attributes(self) -> FrozenSet[str]:
+        """Input attributes read by the aggregate."""
+        if self.argument is None:
+            return frozenset()
+        return frozenset({self.argument})
+
+    def compute(self, tuples: Sequence[Tuple]) -> Any:
+        """Compute the aggregate over a group of tuples."""
+        if self.kind is AggregateKind.COUNT:
+            if self.argument is None:
+                return len(tuples)
+            return sum(1 for tup in tuples if tup[self.argument] is not None)
+        values = [tup[self.argument] for tup in tuples if tup[self.argument] is not None]
+        if not values:
+            return None
+        if self.kind is AggregateKind.SUM:
+            return sum(values)
+        if self.kind is AggregateKind.MIN:
+            return min(values)
+        if self.kind is AggregateKind.MAX:
+            return max(values)
+        return sum(values) / len(values)
+
+    def to_sql(self) -> str:
+        argument = "*" if self.argument is None else _quote_identifier(self.argument)
+        return f"{self.kind.value}({argument}) AS {_quote_identifier(self.output_name)}"
+
+    def __str__(self) -> str:
+        argument = "*" if self.argument is None else self.argument
+        return f"{self.kind.value}({argument})"
+
+
+def count(argument: Optional[str] = None, alias: Optional[str] = None) -> AggregateFunction:
+    """``COUNT(argument)`` / ``COUNT(*)`` helper."""
+    return AggregateFunction(AggregateKind.COUNT, argument, alias)
+
+
+def agg_sum(argument: str, alias: Optional[str] = None) -> AggregateFunction:
+    """``SUM(argument)`` helper."""
+    return AggregateFunction(AggregateKind.SUM, argument, alias)
+
+
+def agg_min(argument: str, alias: Optional[str] = None) -> AggregateFunction:
+    """``MIN(argument)`` helper."""
+    return AggregateFunction(AggregateKind.MIN, argument, alias)
+
+
+def agg_max(argument: str, alias: Optional[str] = None) -> AggregateFunction:
+    """``MAX(argument)`` helper."""
+    return AggregateFunction(AggregateKind.MAX, argument, alias)
+
+
+def agg_avg(argument: str, alias: Optional[str] = None) -> AggregateFunction:
+    """``AVG(argument)`` helper."""
+    return AggregateFunction(AggregateKind.AVG, argument, alias)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote an identifier for SQL when it is not a plain name."""
+    if name.isidentifier():
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'

@@ -1,0 +1,94 @@
+"""The extended algebra's operations (Section 2.4, Table 1).
+
+This package defines the operator node classes that query plans are built
+from, together with their reference evaluation semantics and the Table 1
+metadata (result order, cardinality bounds, duplicate and coalescing
+behaviour).
+"""
+
+from .base import (
+    BinaryOperation,
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+    Operation,
+    PlanPath,
+    ROOT_PATH,
+    UnaryOperation,
+)
+from .aggregation import Aggregation, TemporalAggregation
+from .coalesce import Coalescing, coalesce_tuples
+from .difference import Difference, TemporalDifference
+from .duplicates import (
+    DuplicateElimination,
+    TemporalDuplicateElimination,
+    temporal_duplicate_elimination,
+)
+from .join import Join, TemporalJoin
+from .leaf import BaseRelation, LiteralRelation
+from .product import CartesianProduct, TemporalCartesianProduct
+from .projection import Projection
+from .selection import Selection
+from .sort import Sort
+from .transfer import TransferToDBMS, TransferToStratum
+from .union import TemporalUnion, Union, UnionAll
+
+#: The fundamental operations of Table 1 plus transfers, for introspection.
+ALL_OPERATION_TYPES = (
+    Selection,
+    Projection,
+    UnionAll,
+    CartesianProduct,
+    Difference,
+    Aggregation,
+    DuplicateElimination,
+    TemporalCartesianProduct,
+    TemporalDifference,
+    TemporalAggregation,
+    TemporalDuplicateElimination,
+    Union,
+    TemporalUnion,
+    Sort,
+    Coalescing,
+    TransferToStratum,
+    TransferToDBMS,
+)
+
+#: Idioms (derived operations) included for efficiency (Section 2.4).
+IDIOM_TYPES = (Join, TemporalJoin)
+
+__all__ = [
+    "Aggregation",
+    "ALL_OPERATION_TYPES",
+    "BaseRelation",
+    "BinaryOperation",
+    "CartesianProduct",
+    "Coalescing",
+    "CoalescingBehavior",
+    "Difference",
+    "DuplicateBehavior",
+    "DuplicateElimination",
+    "EvaluationContext",
+    "IDIOM_TYPES",
+    "Join",
+    "LiteralRelation",
+    "Operation",
+    "PlanPath",
+    "Projection",
+    "ROOT_PATH",
+    "Selection",
+    "Sort",
+    "TemporalAggregation",
+    "TemporalCartesianProduct",
+    "TemporalDifference",
+    "TemporalDuplicateElimination",
+    "TemporalJoin",
+    "TemporalUnion",
+    "TransferToDBMS",
+    "TransferToStratum",
+    "UnaryOperation",
+    "Union",
+    "UnionAll",
+    "coalesce_tuples",
+    "temporal_duplicate_elimination",
+]

@@ -1,0 +1,148 @@
+"""Regular and temporal duplicate elimination (rdup, rdupT).
+
+``rdup`` removes regular duplicates, keeping the first occurrence of each
+tuple, so the argument order is preserved (Table 1).  Its result is a
+*snapshot* relation: when the argument is temporal, the reserved attributes
+``T1``/``T2`` are renamed to ``1.T1``/``1.T2`` exactly as in Figure 3 of the
+paper, because only genuinely temporal relations may carry the reserved
+names.
+
+``rdupT`` is the temporal counterpart (Section 2.5): it removes duplicates
+from every *snapshot* of the argument.  Its reference semantics follow the
+paper's λ-calculus definition: repeatedly take the first tuple, find the
+first later value-equivalent tuple whose period overlaps it, and replace that
+tuple by the (zero, one or two) fragments of its period not covered by the
+first tuple.  The first tuple of the list is always emitted unchanged, which
+is how the definition retains as much of the argument's order and periods as
+possible while still being deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple as PyTuple
+
+from ..order_spec import OrderSpec
+from ..period import T1, T2
+from ..relation import Relation
+from ..schema import RelationSchema
+from ..tuples import Tuple
+from .base import (
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+    UnaryOperation,
+)
+
+
+class DuplicateElimination(UnaryOperation):
+    """``rdup(r)`` — remove regular duplicates, keeping first occurrences."""
+
+    symbol = "rdup"
+    duplicate_behavior = DuplicateBehavior.ELIMINATES
+    coalescing_behavior = CoalescingBehavior.NOT_APPLICABLE
+    paper_order = "Order(r)"
+    paper_cardinality = "<= n(r)"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        # The result of a regular (non-temporal) operation is a snapshot
+        # relation; a temporal argument's time attributes are demoted to
+        # ordinary attributes named 1.T1 / 1.T2 (Figure 3).
+        return self.child.output_schema().drop_time()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        if self.child.output_schema().is_temporal:
+            # The demoted time attributes keep their role in the order, but
+            # under their new names.
+            return child_orders[0].rename_attributes({T1: "1." + T1, T2: "1." + T2})
+        return child_orders[0]
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        low, high = child_cards[0]
+        return (0 if low == 0 else 1, high)
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        argument = child_results[0]
+        schema = self.output_schema()
+        seen = set()
+        kept: List[Tuple] = []
+        for tup in argument:
+            relabelled = Tuple(schema, dict(zip(schema.attributes, tup.values())))
+            if relabelled in seen:
+                continue
+            seen.add(relabelled)
+            kept.append(relabelled)
+        return Relation(schema, kept)
+
+    def label(self) -> str:
+        return "rdup"
+
+
+class TemporalDuplicateElimination(UnaryOperation):
+    """``rdupT(r)`` — remove duplicates from every snapshot of ``r``."""
+
+    symbol = "rdupT"
+    duplicate_behavior = DuplicateBehavior.ELIMINATES
+    coalescing_behavior = CoalescingBehavior.DESTROYS
+    order_sensitive = True
+    is_temporal_operator = True
+    paper_order = "Order(r) \\ TimePairs"
+    paper_cardinality = "<= 2*n(r) - 1"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return child_orders[0].without_attributes((T1, T2))
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        low, high = child_cards[0]
+        return (0 if low == 0 else 1, max(0, 2 * high - 1))
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        argument = child_results[0]
+        return Relation(argument.schema, temporal_duplicate_elimination(list(argument.tuples)))
+
+    def label(self) -> str:
+        return "rdupT"
+
+
+def temporal_duplicate_elimination(tuples: List[Tuple]) -> List[Tuple]:
+    """The λ-calculus definition of ``rdupT`` (Section 2.5), iteratively.
+
+    The head of the working list is compared against the remaining tuples:
+    the first value-equivalent tuple whose period overlaps the head's period
+    is replaced in place by the fragments of its period not covered by the
+    head (zero, one or two tuples).  When the head overlaps no later tuple it
+    is emitted and the process continues with the rest.  The recursion of the
+    paper is unrolled into a loop so arbitrarily long relations can be
+    processed.
+    """
+    result: List[Tuple] = []
+    work = list(tuples)
+    while work:
+        head = work[0]
+        rest = work[1:]
+        overlap_index = _first_overlap(head, rest)
+        if overlap_index is None:
+            result.append(head)
+            work = rest
+            continue
+        overlapping = rest[overlap_index]
+        fragments = [
+            overlapping.with_period(piece)
+            for piece in overlapping.period.subtract(head.period)
+        ]
+        work = [head] + rest[:overlap_index] + fragments + rest[overlap_index + 1 :]
+    return result
+
+
+def _first_overlap(head: Tuple, rest: Sequence[Tuple]) -> Any:
+    """Index of the first tuple in ``rest`` that duplicates ``head`` in some snapshot."""
+    for index, candidate in enumerate(rest):
+        if candidate.value_equivalent(head) and candidate.period.overlaps(head.period):
+            return index
+    return None

@@ -1,0 +1,112 @@
+"""Join idioms: θ-join and temporal join.
+
+Section 2.4 excludes derived operations (idioms) from the fundamental
+algebra, but notes that an implementation should include them for
+efficiency.  A join is the idiom *Cartesian product followed by selection
+(and projection)*; the temporal join is the same composition over ``×T``.
+Both classes expose the composition through :meth:`expand`, so every
+transformation rule defined on the fundamental operations applies to the
+expanded form, while the physical engines may implement the idiom directly
+(the DBMS substrate uses a hash join for equi-join predicates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple as PyTuple
+
+from ..expressions import Expression
+from ..order_spec import OrderSpec
+from ..relation import Relation
+from ..schema import RelationSchema
+from .base import (
+    BinaryOperation,
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+    Operation,
+)
+from .product import CartesianProduct, TemporalCartesianProduct
+from .selection import Selection
+
+
+class Join(BinaryOperation):
+    """``r1 ⋈_P r2`` — idiom for ``σ_P(r1 × r2)``."""
+
+    symbol = "⋈"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.NOT_APPLICABLE
+    paper_order = "Order(r1)"
+    paper_cardinality = "<= n(r1) * n(r2)"
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Expression, left, right) -> None:
+        super().__init__(left, right)
+        self.predicate = predicate
+
+    def params(self) -> PyTuple[Any, ...]:
+        return (self.predicate,)
+
+    def expand(self) -> Operation:
+        """The defining composition in terms of fundamental operations."""
+        return Selection(self.predicate, CartesianProduct(self.left, self.right))
+
+    def output_schema(self) -> RelationSchema:
+        return self.expand().output_schema()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return CartesianProduct(self.left, self.right).result_order(child_orders)
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        (low1, high1), (low2, high2) = child_cards
+        return (0, high1 * high2)
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        product = CartesianProduct(self.left, self.right)._evaluate(child_results, context)
+        kept = [tup for tup in product if self.predicate.evaluate(tup)]
+        return Relation(product.schema, kept)
+
+    def label(self) -> str:
+        return f"⋈[{self.predicate}]"
+
+
+class TemporalJoin(BinaryOperation):
+    """``r1 ⋈T_P r2`` — idiom for ``σ_P(r1 ×T r2)``."""
+
+    symbol = "⋈T"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.DESTROYS
+    is_temporal_operator = True
+    paper_order = "Order(r1) \\ TimePairs"
+    paper_cardinality = "<= n(r1) * n(r2)"
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Expression, left, right) -> None:
+        super().__init__(left, right)
+        self.predicate = predicate
+
+    def params(self) -> PyTuple[Any, ...]:
+        return (self.predicate,)
+
+    def expand(self) -> Operation:
+        """The defining composition in terms of fundamental operations."""
+        return Selection(self.predicate, TemporalCartesianProduct(self.left, self.right))
+
+    def output_schema(self) -> RelationSchema:
+        return self.expand().output_schema()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return TemporalCartesianProduct(self.left, self.right).result_order(child_orders)
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        (low1, high1), (low2, high2) = child_cards
+        return (0, high1 * high2)
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        product = TemporalCartesianProduct(self.left, self.right)._evaluate(child_results, context)
+        kept = [tup for tup in product if self.predicate.evaluate(tup)]
+        return Relation(product.schema, kept)
+
+    def label(self) -> str:
+        return f"⋈T[{self.predicate}]"

@@ -1,0 +1,141 @@
+"""Cartesian product (×) and temporal Cartesian product (×T).
+
+The regular product concatenates every pair of tuples.  Its result order is
+the left argument's order (every left tuple is expanded in place), it retains
+regular duplicates, and — being an operation with a temporal counterpart —
+its result is a snapshot relation: clashing attribute names, including the
+reserved ``T1``/``T2`` of temporal arguments, are disambiguated with the
+``1.`` / ``2.`` prefixes.
+
+The temporal product ``×T`` is snapshot reducible to ``×``: a pair of tuples
+joins exactly when their periods overlap, and the result tuple is valid over
+the intersection of the two periods.  Following the paper's minimality
+requirement the operation *retains* the argument timestamps — they survive as
+``1.T1``/``1.T2`` and ``2.T1``/``2.T2`` — while the fresh ``T1``/``T2`` carry
+the intersection (this is why rule C9 projects the retained timestamps away).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple as PyTuple
+
+from ..order_spec import OrderSpec
+from ..period import T1, T2
+from ..relation import Relation
+from ..schema import RelationSchema, TIME
+from ..tuples import Tuple
+from .base import (
+    BinaryOperation,
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+)
+
+
+def _disambiguated_pairs(
+    schema: RelationSchema,
+    other: RelationSchema,
+    prefix: str,
+    always_prefix_time: bool,
+) -> List[PyTuple[str, object]]:
+    """Rename clashing (and, optionally, reserved time) attributes with ``prefix``."""
+    other_names = set(other.attributes)
+    pairs: List[PyTuple[str, object]] = []
+    for attribute in schema.attributes:
+        clashes = attribute in other_names
+        is_time = attribute in (T1, T2)
+        if clashes or (always_prefix_time and is_time):
+            pairs.append((prefix + attribute, schema.domain_of(attribute)))
+        else:
+            pairs.append((attribute, schema.domain_of(attribute)))
+    return pairs
+
+
+class CartesianProduct(BinaryOperation):
+    """``r1 × r2`` — all pairs of tuples, concatenated."""
+
+    symbol = "×"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.NOT_APPLICABLE
+    paper_order = "Order(r1)"
+    paper_cardinality = "= n(r1) * n(r2)"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        left = self.left.output_schema()
+        right = self.right.output_schema()
+        pairs = _disambiguated_pairs(left, right, "1.", always_prefix_time=True)
+        pairs += _disambiguated_pairs(right, left, "2.", always_prefix_time=True)
+        return RelationSchema.from_pairs(pairs)
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        # Left attributes keep their names unless they clash; the surviving
+        # prefix of the left order is what the result is sorted by.
+        return child_orders[0].prefix_on_attributes(self.output_schema().attributes)
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        (low1, high1), (low2, high2) = child_cards
+        return (low1 * low2, high1 * high2)
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        left, right = child_results
+        schema = self.output_schema()
+        result: List[Tuple] = []
+        for left_tuple in left:
+            for right_tuple in right:
+                values = list(left_tuple.values()) + list(right_tuple.values())
+                result.append(Tuple(schema, dict(zip(schema.attributes, values))))
+        return Relation(schema, result)
+
+    def label(self) -> str:
+        return "× (product)"
+
+
+class TemporalCartesianProduct(BinaryOperation):
+    """``r1 ×T r2`` — join tuple pairs with overlapping periods."""
+
+    symbol = "×T"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.DESTROYS
+    is_temporal_operator = True
+    paper_order = "Order(r1) \\ TimePairs"
+    paper_cardinality = "<= n(r1) * n(r2)"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        left = self.left.output_schema()
+        right = self.right.output_schema()
+        pairs = _disambiguated_pairs(left, right, "1.", always_prefix_time=True)
+        pairs += _disambiguated_pairs(right, left, "2.", always_prefix_time=True)
+        pairs += [(T1, TIME), (T2, TIME)]
+        return RelationSchema.from_pairs(pairs)
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        surviving = child_orders[0].without_attributes((T1, T2))
+        return surviving.prefix_on_attributes(self.output_schema().attributes)
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        (low1, high1), (low2, high2) = child_cards
+        return (0, high1 * high2)
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        left, right = child_results
+        schema = self.output_schema()
+        result: List[Tuple] = []
+        for left_tuple in left:
+            for right_tuple in right:
+                intersection = left_tuple.period.intersect(right_tuple.period)
+                if intersection is None:
+                    continue
+                values = (
+                    list(left_tuple.values())
+                    + list(right_tuple.values())
+                    + [intersection.start, intersection.end]
+                )
+                result.append(Tuple(schema, dict(zip(schema.attributes, values))))
+        return Relation(schema, result)
+
+    def label(self) -> str:
+        return "×T (temporal product)"

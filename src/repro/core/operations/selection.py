@@ -1,0 +1,59 @@
+"""Selection (σ): filter tuples by a predicate.
+
+Table 1: the result keeps the argument's order, has at most ``n(r)`` tuples,
+retains regular duplicates and retains coalescing.  Selection is not
+list-sensitive and applies unchanged to snapshot and temporal relations; the
+temporal counterpart coincides with it because filtering commutes with taking
+snapshots whenever the predicate is evaluated per tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple as PyTuple
+
+from ..expressions import Expression
+from ..order_spec import OrderSpec
+from ..relation import Relation
+from ..schema import RelationSchema
+from .base import (
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+    UnaryOperation,
+)
+
+
+class Selection(UnaryOperation):
+    """``σ_P(r)`` — keep the tuples of ``r`` satisfying predicate ``P``."""
+
+    symbol = "σ"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.RETAINS
+    paper_order = "Order(r)"
+    paper_cardinality = "<= n(r)"
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Expression, child) -> None:
+        super().__init__(child)
+        self.predicate = predicate
+
+    def params(self) -> PyTuple[Any, ...]:
+        return (self.predicate,)
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return child_orders[0]
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        return (0, child_cards[0][1])
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        argument = child_results[0]
+        kept = [tup for tup in argument if self.predicate.evaluate(tup)]
+        return Relation(argument.schema, kept)
+
+    def label(self) -> str:
+        return f"σ[{self.predicate}]"

@@ -1,0 +1,62 @@
+"""Sorting (sort_A): order a relation by a list of sort keys.
+
+Table 1: the result order is ``A`` (or the argument order when ``A`` is a
+prefix of it), the cardinality is unchanged, duplicates are retained, and
+coalescing is retained.  Because relations are lists, sorting may appear
+anywhere in a plan — not only at the outermost level — which is precisely the
+flexibility the paper's list-based algebra adds over multiset algebras.
+Sorting is stable, so tuples that compare equal keep their argument order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple as PyTuple
+
+from ..order_spec import OrderSpec
+from ..relation import Relation
+from ..schema import RelationSchema
+from .base import (
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+    UnaryOperation,
+)
+
+
+class Sort(UnaryOperation):
+    """``sort_A(r)`` — stably sort ``r`` by the order specification ``A``."""
+
+    symbol = "sort"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.RETAINS
+    paper_order = "= A"
+    paper_cardinality = "= n(r)"
+
+    __slots__ = ("sort_order",)
+
+    def __init__(self, sort_order: OrderSpec, child) -> None:
+        super().__init__(child)
+        self.sort_order = sort_order
+
+    def params(self) -> PyTuple[Any, ...]:
+        return (self.sort_order,)
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        # Special case noted under Table 1: if A is a prefix of Order(r), the
+        # (stable) sort leaves the argument order intact.
+        if self.sort_order.is_prefix_of(child_orders[0]):
+            return child_orders[0]
+        return self.sort_order
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        return child_cards[0]
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        argument = child_results[0]
+        return argument.sorted_by(self.sort_order)
+
+    def label(self) -> str:
+        return f"sort[{self.sort_order}]"

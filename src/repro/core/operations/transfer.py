@@ -1,0 +1,81 @@
+"""Transfer operations for the stratum architecture (Section 2.1, 4.5).
+
+``TS`` transfers its argument relation from the conventional DBMS to the
+stratum (the temporal layer); ``TD`` transfers in the other direction.  Both
+are identities on the data — they only mark, inside a query plan, where the
+boundary between the two engines lies, so that plans can flexibly partition
+the computation.  The sub-plans *below* a ``TS`` are executed by the DBMS
+(and are rendered as SQL for it); everything above runs in the stratum.
+
+Transfer-related transformation rules are only ≡M equivalences because the
+DBMS gives no guarantee about the order of the results it hands back (the
+paper's sole exception being an outermost DBMS-side ``sort``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple as PyTuple
+
+from ..order_spec import OrderSpec
+from ..relation import Relation
+from ..schema import RelationSchema
+from .base import (
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+    UnaryOperation,
+)
+
+
+class TransferToStratum(UnaryOperation):
+    """``TS(r)`` — hand the result of a DBMS-side sub-plan to the stratum."""
+
+    symbol = "TS"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.RETAINS
+    paper_order = "Order(r)"
+    paper_cardinality = "= n(r)"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return child_orders[0]
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        return child_cards[0]
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        return child_results[0]
+
+    def label(self) -> str:
+        return "TS (to stratum)"
+
+
+class TransferToDBMS(UnaryOperation):
+    """``TD(r)`` — hand a stratum-side intermediate result to the DBMS."""
+
+    symbol = "TD"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.RETAINS
+    paper_order = "Order(r)"
+    paper_cardinality = "= n(r)"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return child_orders[0]
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        return child_cards[0]
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        return child_results[0]
+
+    def label(self) -> str:
+        return "TD (to DBMS)"

@@ -1,0 +1,182 @@
+"""Union ALL (⊔), multiset union (∪) and temporal union (∪T).
+
+* ``⊔`` (union ALL) simply concatenates its arguments — the cheapest possible
+  implementation, per the paper's remark in Section 2.4.  It generates
+  duplicates (a tuple present once in each argument appears twice) and
+  destroys coalescing; its result is unordered.
+
+* ``∪`` is the multiset union of Albert [1]: each tuple appears as many times
+  as its maximum number of occurrences across the two arguments.  It retains
+  duplicates — the result is duplicate-free whenever both arguments are —
+  which is what makes rule D5 (pushing duplicate elimination below union)
+  valid.  Its result is an unordered snapshot relation.
+
+* ``∪T`` is the temporal counterpart of ``∪``: conceptually a snapshot-wise
+  multiset union.  Every left tuple is emitted unchanged; each right tuple
+  contributes only the fragments of its period not already covered by a
+  value-equivalent left tuple, giving the Table 1 cardinality bounds
+  ``>= n(r1)`` and ``<= n(r1) + 2*n(r2)`` for the paper's intended usage
+  (coalesced, snapshot-duplicate-free arguments).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple as PyTuple
+
+from ..exceptions import SchemaError
+from ..order_spec import OrderSpec
+from ..period import subtract_periods
+from ..relation import Relation
+from ..schema import RelationSchema
+from ..tuples import Tuple
+from .base import (
+    BinaryOperation,
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+)
+
+
+def _check_union_compatible(left: RelationSchema, right: RelationSchema, operator: str) -> None:
+    if not left.is_union_compatible(right):
+        raise SchemaError(
+            f"{operator} requires union-compatible schemas, got {left} and {right}"
+        )
+
+
+class UnionAll(BinaryOperation):
+    """``r1 ⊔ r2`` — concatenation (SQL UNION ALL)."""
+
+    symbol = "⊔"
+    duplicate_behavior = DuplicateBehavior.GENERATES
+    coalescing_behavior = CoalescingBehavior.DESTROYS
+    paper_order = "unordered"
+    paper_cardinality = "= n(r1) + n(r2)"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        left = self.left.output_schema()
+        _check_union_compatible(left, self.right.output_schema(), "union ALL")
+        return left
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return OrderSpec.unordered()
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        (low1, high1), (low2, high2) = child_cards
+        return (low1 + low2, high1 + high2)
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        left, right = child_results
+        return left.concat(right)
+
+    def label(self) -> str:
+        return "⊔ (union all)"
+
+
+class Union(BinaryOperation):
+    """``r1 ∪ r2`` — multiset union (maximum of occurrence counts)."""
+
+    symbol = "∪"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.NOT_APPLICABLE
+    paper_order = "unordered"
+    paper_cardinality = ">= n(r1) and <= n(r1) + n(r2)"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        left = self.left.output_schema()
+        _check_union_compatible(left, self.right.output_schema(), "union")
+        # Regular union has a temporal counterpart, so its result is a
+        # snapshot relation (reserved attributes are demoted).
+        return left.drop_time()
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return OrderSpec.unordered()
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        (low1, high1), (low2, high2) = child_cards
+        return (max(low1, low2), high1 + high2)
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        left, right = child_results
+        schema = self.output_schema()
+        left_relabelled = [_relabel(tup, schema) for tup in left]
+        right_relabelled = [_relabel(tup, schema) for tup in right]
+        left_counts: dict = {}
+        for tup in left_relabelled:
+            left_counts[tup] = left_counts.get(tup, 0) + 1
+        right_counts: dict = {}
+        for tup in right_relabelled:
+            right_counts[tup] = right_counts.get(tup, 0) + 1
+        # Each tuple occurs max(count_left, count_right) times: keep every
+        # left occurrence, then add the surplus right occurrences in the
+        # right argument's order for determinism.
+        surplus = {
+            tup: max(0, count - left_counts.get(tup, 0))
+            for tup, count in right_counts.items()
+        }
+        result: List[Tuple] = list(left_relabelled)
+        for tup in right_relabelled:
+            if surplus.get(tup, 0) > 0:
+                result.append(tup)
+                surplus[tup] -= 1
+        return Relation(schema, result)
+
+    def label(self) -> str:
+        return "∪ (union)"
+
+
+class TemporalUnion(BinaryOperation):
+    """``r1 ∪T r2`` — snapshot-reducible union of temporal relations."""
+
+    symbol = "∪T"
+    duplicate_behavior = DuplicateBehavior.RETAINS
+    coalescing_behavior = CoalescingBehavior.DESTROYS
+    order_sensitive = True
+    is_temporal_operator = True
+    paper_order = "unordered"
+    paper_cardinality = ">= n(r1) and <= n(r1) + 2*n(r2)"
+
+    __slots__ = ()
+
+    def output_schema(self) -> RelationSchema:
+        left = self.left.output_schema()
+        _check_union_compatible(left, self.right.output_schema(), "temporal union")
+        return left
+
+    def result_order(self, child_orders: Sequence[OrderSpec]) -> OrderSpec:
+        return OrderSpec.unordered()
+
+    def cardinality_bounds(self, child_cards: Sequence[PyTuple[int, int]]) -> PyTuple[int, int]:
+        (low1, high1), (low2, high2) = child_cards
+        # The paper's bound assumes its intended usage; the general bound is
+        # n(r1) + n(r2) * (n(r1) + 1) fragments.
+        return (low1, high1 + high2 * (high1 + 1))
+
+    def _evaluate(self, child_results: Sequence[Relation], context: EvaluationContext) -> Relation:
+        left, right = child_results
+        schema = self.output_schema()
+        result: List[Tuple] = [tup.project(schema) for tup in left]
+        for right_tuple in right:
+            aligned = right_tuple.project(schema)
+            covering = [
+                left_tuple.period
+                for left_tuple in left
+                if left_tuple.value_equivalent(right_tuple)
+            ]
+            for fragment in subtract_periods(aligned.period, covering):
+                result.append(aligned.with_period(fragment))
+        return Relation(schema, result)
+
+    def label(self) -> str:
+        return "∪T (temporal union)"
+
+
+def _relabel(tup: Tuple, schema: RelationSchema) -> Tuple:
+    """Rebuild ``tup`` over ``schema`` positionally (used for T1 -> 1.T1 renames)."""
+    if set(tup.schema.attributes) == set(schema.attributes):
+        return tup.project(schema)
+    return Tuple(schema, dict(zip(schema.attributes, tup.values())))

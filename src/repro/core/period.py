@@ -1,0 +1,209 @@
+"""Closed-open time periods and granularity-independent period arithmetic.
+
+The paper (Section 2.1, 2.3) timestamps temporal tuples with *periods* stored
+in two reserved attributes ``T1`` (inclusive start) and ``T2`` (exclusive
+end).  Using fixed-width periods instead of temporal elements keeps tuples a
+constant size, and expressing every definition only in terms of the start and
+end points keeps the algebra independent of the granularity of the time
+domain: any totally ordered, discrete domain works (the examples use month
+numbers 1..12).
+
+This module provides a small value type, :class:`Period`, together with the
+interval algebra the temporal operations need: overlap, adjacency, inclusion,
+intersection, union of adjacent/overlapping periods, and difference (which may
+produce zero, one, or two periods — exactly the case analysis used by the
+temporal duplicate elimination and temporal difference definitions in
+Section 2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .exceptions import PeriodError
+
+#: Names of the reserved temporal attributes (Section 2.3).
+T1 = "T1"
+T2 = "T2"
+
+#: The pair of reserved temporal attribute names, in schema order.
+TEMPORAL_ATTRIBUTES: Tuple[str, str] = (T1, T2)
+
+
+@dataclass(frozen=True, order=True)
+class Period:
+    """A closed-open time period ``[start, end)`` over a discrete time domain.
+
+    ``start`` is inclusive and ``end`` is exclusive; a period must be
+    non-empty, i.e. ``start < end``.  Instances are immutable, hashable and
+    ordered lexicographically by ``(start, end)``.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise PeriodError(
+                f"period end must be greater than start, got [{self.start}, {self.end})"
+            )
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def duration(self) -> int:
+        """Number of time points (granules) covered by the period."""
+        return self.end - self.start
+
+    def contains_point(self, t: int) -> bool:
+        """Return True if time point ``t`` lies within the period."""
+        return self.start <= t < self.end
+
+    def contains(self, other: "Period") -> bool:
+        """Return True if ``other`` lies entirely within this period."""
+        return self.start <= other.start and other.end <= self.end
+
+    def points(self) -> Iterator[int]:
+        """Iterate over the individual time points covered by the period."""
+        return iter(range(self.start, self.end))
+
+    # -- Allen-style relationships ------------------------------------------
+
+    def overlaps(self, other: "Period") -> bool:
+        """Return True if the two periods share at least one time point."""
+        return self.start < other.end and other.start < self.end
+
+    def is_adjacent_to(self, other: "Period") -> bool:
+        """Return True if the periods meet without sharing a point.
+
+        Adjacency is what coalescing (Section 2.4) merges: the end of one
+        period equals the start of the other.
+        """
+        return self.end == other.start or other.end == self.start
+
+    def overlaps_or_adjacent(self, other: "Period") -> bool:
+        """Return True if the periods overlap or are adjacent (mergeable)."""
+        return self.start <= other.end and other.start <= self.end
+
+    def precedes(self, other: "Period") -> bool:
+        """Return True if this period ends before or when ``other`` starts."""
+        return self.end <= other.start
+
+    # -- constructive operations --------------------------------------------
+
+    def intersect(self, other: "Period") -> Optional["Period"]:
+        """Return the common sub-period, or None if the periods are disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start < end:
+            return Period(start, end)
+        return None
+
+    def merge(self, other: "Period") -> "Period":
+        """Return the single period covering both arguments.
+
+        The arguments must overlap or be adjacent; otherwise the result would
+        cover points belonging to neither argument and a :class:`PeriodError`
+        is raised.
+        """
+        if not self.overlaps_or_adjacent(other):
+            raise PeriodError(f"cannot merge disjoint periods {self} and {other}")
+        return Period(min(self.start, other.start), max(self.end, other.end))
+
+    def subtract(self, other: "Period") -> List["Period"]:
+        """Return the parts of this period not covered by ``other``.
+
+        The result contains zero, one, or two periods, matching the case
+        analysis in the temporal difference and temporal duplicate
+        elimination definitions (Section 2.5):
+
+        * ``other`` covers this period entirely  -> ``[]``
+        * ``other`` covers a prefix or suffix    -> one remaining period
+        * ``other`` is strictly inside           -> two remaining periods
+        * the periods are disjoint               -> ``[self]``
+        """
+        if not self.overlaps(other):
+            return [self]
+        pieces: List[Period] = []
+        if self.start < other.start:
+            pieces.append(Period(self.start, other.start))
+        if other.end < self.end:
+            pieces.append(Period(other.end, self.end))
+        return pieces
+
+    # -- presentation --------------------------------------------------------
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.start}, {self.end})"
+
+
+# ---------------------------------------------------------------------------
+# Operations over collections of periods
+# ---------------------------------------------------------------------------
+
+
+def coalesce_periods(periods: Iterable[Period]) -> List[Period]:
+    """Merge overlapping or adjacent periods into maximal periods.
+
+    The input may be in any order; the result is sorted by start point and
+    contains pairwise disjoint, non-adjacent periods.  This is the period-set
+    normal form used when checking snapshot equivalences and when coalescing
+    value-equivalent tuples.
+    """
+    ordered = sorted(periods)
+    merged: List[Period] = []
+    for period in ordered:
+        if merged and merged[-1].overlaps_or_adjacent(period):
+            merged[-1] = merged[-1].merge(period)
+        else:
+            merged.append(period)
+    return merged
+
+
+def subtract_periods(minuend: Period, subtrahends: Iterable[Period]) -> List[Period]:
+    """Remove every period in ``subtrahends`` from ``minuend``.
+
+    Returns the remaining fragments sorted by start point.  Used by the
+    temporal difference operation, where a left tuple's period must survive
+    every value-equivalent right tuple.
+    """
+    remaining: List[Period] = [minuend]
+    for subtrahend in subtrahends:
+        next_remaining: List[Period] = []
+        for piece in remaining:
+            next_remaining.extend(piece.subtract(subtrahend))
+        remaining = next_remaining
+        if not remaining:
+            break
+    return sorted(remaining)
+
+
+def intersect_all(periods: Iterable[Period]) -> Optional[Period]:
+    """Return the period common to all arguments, or None if empty."""
+    result: Optional[Period] = None
+    for period in periods:
+        if result is None:
+            result = period
+            continue
+        result = result.intersect(period)
+        if result is None:
+            return None
+    return result
+
+
+def periods_cover_same_points(left: Iterable[Period], right: Iterable[Period]) -> bool:
+    """Return True if both collections cover exactly the same time points."""
+    return coalesce_periods(left) == coalesce_periods(right)
+
+
+def span(periods: Iterable[Period]) -> Optional[Period]:
+    """Return the smallest single period covering every argument period."""
+    start: Optional[int] = None
+    end: Optional[int] = None
+    for period in periods:
+        start = period.start if start is None else min(start, period.start)
+        end = period.end if end is None else max(end, period.end)
+    if start is None or end is None:
+        return None
+    return Period(start, end)

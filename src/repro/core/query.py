@@ -1,0 +1,91 @@
+"""Query result specifications: what kind of result a user query demands.
+
+Definition 5.1 ties the applicability of transformation rules to the
+outermost clauses of the user-level query: the presence of ``ORDER BY``
+makes the result a *list*, ``DISTINCT`` (without ``ORDER BY``) makes it a
+*set*, and the absence of both makes it a *multiset*.  A
+:class:`QueryResultSpec` captures exactly this information and is carried
+alongside a plan through optimization; it is also where the required-result
+equivalence ``≡SQL`` (≡S, ≡M or ≡L,A) of Definition 5.1 comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .equivalence import EquivalenceType
+from .order_spec import OrderSpec
+
+
+class ResultKind(Enum):
+    """The three result kinds a query can specify (Section 5.1)."""
+
+    LIST = "list"
+    MULTISET = "multiset"
+    SET = "set"
+
+
+@dataclass(frozen=True)
+class QueryResultSpec:
+    """The outermost ``DISTINCT`` / ``ORDER BY`` of a user-level query.
+
+    ``coalesced`` records whether the user asked for a coalesced temporal
+    result (the running example does); it does not change the Definition 5.1
+    equivalence, but the front end uses it when constructing the initial
+    plan.
+    """
+
+    distinct: bool = False
+    order_by: OrderSpec = field(default_factory=OrderSpec.unordered)
+    coalesced: bool = False
+
+    @property
+    def kind(self) -> ResultKind:
+        """The result kind per Definition 5.1."""
+        if self.order_by:
+            return ResultKind.LIST
+        if self.distinct:
+            return ResultKind.SET
+        return ResultKind.MULTISET
+
+    @property
+    def required_equivalence(self) -> EquivalenceType:
+        """The ``≡SQL`` equivalence two correct plans' results must satisfy.
+
+        For a LIST result the concrete check additionally projects onto the
+        ORDER BY attributes (≡L,A); see
+        :func:`repro.core.applicability.results_acceptable`.
+        """
+        if self.kind is ResultKind.LIST:
+            return EquivalenceType.LIST
+        if self.kind is ResultKind.SET:
+            return EquivalenceType.SET
+        return EquivalenceType.MULTISET
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def multiset(cls) -> "QueryResultSpec":
+        """A query with neither DISTINCT nor ORDER BY at the outermost level."""
+        return cls(distinct=False, order_by=OrderSpec.unordered())
+
+    @classmethod
+    def set(cls) -> "QueryResultSpec":
+        """A query with DISTINCT but no ORDER BY at the outermost level."""
+        return cls(distinct=True, order_by=OrderSpec.unordered())
+
+    @classmethod
+    def list(cls, order_by: OrderSpec, distinct: bool = False) -> "QueryResultSpec":
+        """A query with ORDER BY (and possibly DISTINCT) at the outermost level."""
+        return cls(distinct=distinct, order_by=order_by)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.distinct:
+            parts.append("DISTINCT")
+        if self.order_by:
+            parts.append(f"ORDER BY {self.order_by}")
+        if self.coalesced:
+            parts.append("COALESCED")
+        return " ".join(parts) if parts else "(multiset result)"

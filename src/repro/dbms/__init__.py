@@ -1,0 +1,20 @@
+"""The conventional DBMS substrate (the engine below the stratum)."""
+
+from .catalog import Catalog, Table, TableStatistics
+from .engine import ConventionalDBMS, DBMSResult
+from .executor import ExecutionReport, PhysicalPlanner, extract_equi_join
+from .optimizer import ConventionalOptimizer
+from .sqlgen import to_sql
+
+__all__ = [
+    "Catalog",
+    "ConventionalDBMS",
+    "ConventionalOptimizer",
+    "DBMSResult",
+    "ExecutionReport",
+    "PhysicalPlanner",
+    "Table",
+    "TableStatistics",
+    "extract_equi_join",
+    "to_sql",
+]

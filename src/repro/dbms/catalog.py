@@ -1,0 +1,136 @@
+"""Catalog and storage of the conventional DBMS substrate.
+
+The catalog maps table names to stored tables; each table holds its schema,
+its rows (as a list-based :class:`~repro.core.relation.Relation`), an
+optional clustering order, and the statistics (cardinality, distinct counts)
+that the optimizers and the cost model consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.exceptions import CatalogError, SchemaError
+from ..core.order_spec import OrderSpec
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.tuples import Tuple
+
+
+@dataclass
+class TableStatistics:
+    """Statistics maintained per stored table."""
+
+    cardinality: int = 0
+    distinct_values: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "TableStatistics":
+        """Compute statistics for a relation instance."""
+        distinct = {
+            attribute: len({tup[attribute] for tup in relation})
+            for attribute in relation.schema.attributes
+        }
+        return cls(cardinality=len(relation), distinct_values=distinct)
+
+
+class Table:
+    """A stored table: schema, rows, clustering order and statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: RelationSchema,
+        rows: Optional[Relation] = None,
+        clustering: Optional[OrderSpec] = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema.rename(name)
+        self.clustering = clustering or OrderSpec.unordered()
+        if rows is None:
+            self._relation = Relation.empty(self.schema)
+        else:
+            if rows.schema != schema:
+                raise SchemaError(
+                    f"rows for table {name!r} have schema {rows.schema}, expected {schema}"
+                )
+            self._relation = Relation(self.schema, rows.tuples, order=self.clustering)
+        self.statistics = TableStatistics.from_relation(self._relation)
+
+    @property
+    def relation(self) -> Relation:
+        """The stored rows as a relation (annotated with the clustering order)."""
+        return self._relation
+
+    @property
+    def cardinality(self) -> int:
+        """Number of stored rows."""
+        return len(self._relation)
+
+    def insert(self, rows: Iterable[Sequence]) -> int:
+        """Append rows (given in schema attribute order); returns how many."""
+        new_tuples: List[Tuple] = list(self._relation.tuples)
+        added = 0
+        for row in rows:
+            new_tuples.append(Tuple.from_sequence(self.schema, row))
+            added += 1
+        self._relation = Relation(self.schema, new_tuples, order=OrderSpec.unordered())
+        self.statistics = TableStatistics.from_relation(self._relation)
+        return added
+
+    def replace(self, relation: Relation) -> None:
+        """Replace the stored rows wholesale."""
+        if relation.schema != self.schema:
+            raise SchemaError(
+                f"replacement rows for {self.name!r} have schema {relation.schema}, "
+                f"expected {self.schema}"
+            )
+        self._relation = Relation(self.schema, relation.tuples, order=relation.order)
+        self.statistics = TableStatistics.from_relation(self._relation)
+
+
+class Catalog:
+    """The DBMS catalog: a name -> :class:`Table` mapping."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        schema: RelationSchema,
+        rows: Optional[Relation] = None,
+        clustering: Optional[OrderSpec] = None,
+    ) -> Table:
+        """Create (and register) a table; duplicate names are rejected."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema, rows, clustering)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table; raise :class:`CatalogError` if missing."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        """True if a table with that name is registered."""
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """All registered table names, sorted."""
+        return sorted(self._tables)
+
+    def statistics(self) -> Mapping[str, int]:
+        """Cardinality per table, for the cost model."""
+        return {name: table.cardinality for name, table in self._tables.items()}

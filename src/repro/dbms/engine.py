@@ -1,0 +1,95 @@
+"""The conventional DBMS substrate: catalog, optimizer and executor in one facade.
+
+:class:`ConventionalDBMS` is the "unaltered, conventional DBMS" of the
+paper's layered architecture: it stores relations, accepts (conventional)
+logical plans, optimizes them with its own heuristics, executes them with
+multiset semantics, and can show the SQL text a fragment corresponds to.  It
+knows nothing about valid time beyond treating ``T1``/``T2`` as ordinary
+integer columns — temporal operations reaching it are only ever *emulated*
+(slowly), which the execution report exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.operations import Operation
+from ..core.order_spec import OrderSpec
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from .catalog import Catalog, Table
+from .executor import ExecutionReport, PhysicalPlanner
+from .optimizer import ConventionalOptimizer
+from .sqlgen import to_sql
+
+
+@dataclass
+class DBMSResult:
+    """A query result together with the execution report."""
+
+    relation: Relation
+    report: ExecutionReport
+    optimized_plan: Operation
+
+
+class ConventionalDBMS:
+    """An in-memory, multiset-semantics SQL engine."""
+
+    def __init__(self, optimizer: Optional[ConventionalOptimizer] = None) -> None:
+        self.catalog = Catalog()
+        self._optimizer = optimizer or ConventionalOptimizer()
+
+    # -- data definition ---------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: RelationSchema,
+        rows: Optional[Relation] = None,
+        clustering: Optional[OrderSpec] = None,
+    ) -> Table:
+        """Create a table, optionally loading rows immediately."""
+        return self.catalog.create_table(name, schema, rows, clustering)
+
+    def load_relation(self, name: str, relation: Relation) -> Table:
+        """Create a table named ``name`` holding ``relation``."""
+        return self.catalog.create_table(name, relation.schema, relation)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table."""
+        self.catalog.drop_table(name)
+
+    def statistics(self) -> Mapping[str, int]:
+        """Cardinality per table (consumed by the stratum's cost model)."""
+        return self.catalog.statistics()
+
+    # -- querying -----------------------------------------------------------------
+
+    def optimize(self, plan: Operation) -> Operation:
+        """Run the DBMS's own optimizer over a logical plan fragment."""
+        return self._optimizer.optimize(plan)
+
+    def execute(self, plan: Operation, optimize: bool = True) -> DBMSResult:
+        """Optimize (optionally) and execute a logical plan fragment."""
+        final_plan = self.optimize(plan) if optimize else plan
+        planner = PhysicalPlanner(self.catalog)
+        relation = planner.execute(final_plan)
+        return DBMSResult(relation=relation, report=planner.report, optimized_plan=final_plan)
+
+    def query(self, plan: Operation, optimize: bool = True) -> Relation:
+        """Execute a plan and return only the result relation."""
+        return self.execute(plan, optimize=optimize).relation
+
+    # -- introspection --------------------------------------------------------------
+
+    def explain(self, plan: Operation, optimize: bool = True) -> str:
+        """The physical plan the engine would run, as indented text."""
+        final_plan = self.optimize(plan) if optimize else plan
+        planner = PhysicalPlanner(self.catalog)
+        return planner.plan(final_plan).explain()
+
+    def sql_for(self, plan: Operation, optimize: bool = True, pretty: bool = False) -> str:
+        """The SQL text corresponding to a (conventional) plan fragment."""
+        final_plan = self.optimize(plan) if optimize else plan
+        return to_sql(final_plan, pretty=pretty)

@@ -1,0 +1,256 @@
+"""Compilation of logical plans into physical operator trees.
+
+The conventional DBMS substrate executes the *conventional* operations of the
+algebra natively (scans, filters, projections, sorts, hash-based duplicate
+elimination, aggregation, joins, set operations).  Temporal operations have
+no native counterpart in a conventional engine; when a plan fragment shipped
+to the DBMS nevertheless contains one — the paper's initial plans do exactly
+that — the executor falls back to *emulation*: it materialises the inputs and
+runs the reference (specification-level) implementation of the operation.
+Emulations are counted and reported, because their inefficiency is the
+paper's motivation for letting the stratum take those operations over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.exceptions import EngineError
+from ..core.expressions import And, AttributeRef, Comparison, ComparisonOperator, Expression
+from ..core.operations import (
+    Aggregation,
+    BaseRelation,
+    CartesianProduct,
+    Coalescing,
+    Difference,
+    DuplicateElimination,
+    Join,
+    LiteralRelation,
+    Operation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalAggregation,
+    TemporalCartesianProduct,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalJoin,
+    TemporalUnion,
+    TransferToDBMS,
+    TransferToStratum,
+    Union,
+    UnionAll,
+)
+from ..core.operations.base import EvaluationContext
+from ..core.period import T1, T2
+from ..core.relation import Relation
+from .catalog import Catalog
+from .physical import (
+    FilterOperator,
+    HashAggregate,
+    HashDistinct,
+    HashJoin,
+    HashMultisetDifference,
+    HashMultisetUnion,
+    MaterializedInput,
+    NestedLoopProduct,
+    PhysicalOperator,
+    ProjectOperator,
+    RelabelOperator,
+    SortOperator,
+    TableScan,
+    UnionAllOperator,
+)
+
+#: Logical operations the conventional engine cannot execute natively.
+TEMPORAL_OPERATIONS = (
+    TemporalDuplicateElimination,
+    TemporalDifference,
+    TemporalCartesianProduct,
+    TemporalUnion,
+    TemporalAggregation,
+    TemporalJoin,
+    Coalescing,
+)
+
+
+@dataclass
+class ExecutionReport:
+    """What happened while executing one plan fragment in the DBMS."""
+
+    emulated_operations: List[str] = field(default_factory=list)
+    native_operations: int = 0
+
+    @property
+    def emulation_count(self) -> int:
+        return len(self.emulated_operations)
+
+
+@dataclass(frozen=True)
+class EquiJoinCondition:
+    """An extracted equi-join: key pairs plus an optional residual predicate."""
+
+    left_keys: PyTuple[str, ...]
+    right_keys: PyTuple[str, ...]
+    residual: Optional[Expression]
+
+
+def extract_equi_join(
+    predicate: Expression, left_names: Sequence[str], right_names: Sequence[str]
+) -> Optional[EquiJoinCondition]:
+    """Split a predicate into hash-join key pairs and a residual.
+
+    Returns ``None`` unless at least one conjunct is an equality between one
+    left attribute and one right attribute (by their names in the product's
+    output schema).
+    """
+    conjuncts: List[Expression]
+    if isinstance(predicate, And):
+        conjuncts = list(predicate.operands)
+    else:
+        conjuncts = [predicate]
+    left_set, right_set = set(left_names), set(right_names)
+    left_keys: List[str] = []
+    right_keys: List[str] = []
+    residual: List[Expression] = []
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.operator is ComparisonOperator.EQ
+            and isinstance(conjunct.left, AttributeRef)
+            and isinstance(conjunct.right, AttributeRef)
+        ):
+            a, b = conjunct.left.name, conjunct.right.name
+            if a in left_set and b in right_set:
+                left_keys.append(a)
+                right_keys.append(b)
+                continue
+            if b in left_set and a in right_set:
+                left_keys.append(b)
+                right_keys.append(a)
+                continue
+        residual.append(conjunct)
+    if not left_keys:
+        return None
+    residual_expr: Optional[Expression] = None
+    if len(residual) == 1:
+        residual_expr = residual[0]
+    elif residual:
+        residual_expr = And(*residual)
+    return EquiJoinCondition(tuple(left_keys), tuple(right_keys), residual_expr)
+
+
+class PhysicalPlanner:
+    """Compile logical plans against a catalog into physical operators."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self.report = ExecutionReport()
+
+    # -- public API ------------------------------------------------------------
+
+    def plan(self, logical: Operation) -> PhysicalOperator:
+        """Compile ``logical`` into a physical operator tree."""
+        self.report = ExecutionReport()
+        return self._plan(logical)
+
+    def execute(self, logical: Operation) -> Relation:
+        """Compile and drain ``logical``, returning the result relation."""
+        physical = self.plan(logical)
+        relation = physical.to_relation()
+        if isinstance(logical, Sort):
+            return relation.with_order(logical.sort_order)
+        return relation
+
+    # -- compilation ------------------------------------------------------------
+
+    def _plan(self, node: Operation) -> PhysicalOperator:
+        if isinstance(node, BaseRelation):
+            table = self._catalog.table(node.relation_name)
+            self.report.native_operations += 1
+            return TableScan(table.relation, node.relation_name)
+        if isinstance(node, LiteralRelation):
+            self.report.native_operations += 1
+            return TableScan(node.relation, "literal")
+        if isinstance(node, (TransferToDBMS, TransferToStratum)):
+            # Transfers are engine boundaries, not work; inside a DBMS
+            # fragment they are identities.
+            return self._plan(node.child)
+        if isinstance(node, TEMPORAL_OPERATIONS):
+            return self._emulate(node)
+        self.report.native_operations += 1
+        if isinstance(node, Selection):
+            return self._plan_selection(node)
+        if isinstance(node, Projection):
+            return ProjectOperator(node.items, node.output_schema(), self._plan(node.child))
+        if isinstance(node, Sort):
+            return SortOperator(node.sort_order, self._plan(node.child))
+        if isinstance(node, DuplicateElimination):
+            return HashDistinct(self._plan(node.child), node.output_schema())
+        if isinstance(node, Aggregation):
+            group_output_names = [
+                "1." + attribute if attribute in (T1, T2) else attribute
+                for attribute in node.grouping
+            ]
+            return HashAggregate(
+                node.grouping,
+                node.functions,
+                node.output_schema(),
+                self._plan(node.child),
+                group_output_names,
+            )
+        if isinstance(node, Join):
+            return self._plan_join(node)
+        if isinstance(node, CartesianProduct):
+            return NestedLoopProduct(
+                node.output_schema(), self._plan(node.left), self._plan(node.right)
+            )
+        if isinstance(node, Difference):
+            return HashMultisetDifference(
+                node.output_schema(), self._plan(node.left), self._plan(node.right)
+            )
+        if isinstance(node, UnionAll):
+            return UnionAllOperator(self._plan(node.left), self._plan(node.right))
+        if isinstance(node, Union):
+            return HashMultisetUnion(
+                node.output_schema(), self._plan(node.left), self._plan(node.right)
+            )
+        raise EngineError(f"the conventional DBMS cannot execute operation {node.label()!r}")
+
+    def _plan_selection(self, node: Selection) -> PhysicalOperator:
+        child = node.child
+        if isinstance(child, CartesianProduct):
+            product_schema = child.output_schema()
+            # The product's output schema lists the (possibly 1./2.-renamed)
+            # left attributes first, then the right attributes.
+            left_width = len(child.left.output_schema().attributes)
+            left_names = list(product_schema.attributes[:left_width])
+            right_names = list(product_schema.attributes[left_width:])
+            condition = extract_equi_join(node.predicate, left_names, right_names)
+            if condition is not None:
+                # Translate the (possibly renamed) output attribute names back
+                # to the children's own attribute names for hashing/probing.
+                left_map = dict(zip(left_names, child.left.output_schema().attributes))
+                right_map = dict(zip(right_names, child.right.output_schema().attributes))
+                return HashJoin(
+                    [left_map[name] for name in condition.left_keys],
+                    [right_map[name] for name in condition.right_keys],
+                    condition.residual,
+                    product_schema,
+                    self._plan(child.left),
+                    self._plan(child.right),
+                )
+        return FilterOperator(node.predicate, self._plan(child))
+
+    def _plan_join(self, node: Join) -> PhysicalOperator:
+        expanded = node.expand()
+        assert isinstance(expanded, Selection)
+        return self._plan_selection(expanded)
+
+    def _emulate(self, node: Operation) -> PhysicalOperator:
+        """Materialise the inputs and run the reference temporal implementation."""
+        child_relations = [self._plan(child).to_relation() for child in node.children]
+        result = node._evaluate(child_relations, EvaluationContext())
+        self.report.emulated_operations.append(node.label())
+        return MaterializedInput(result, note=f"emulated {node.symbol}")

@@ -1,0 +1,92 @@
+"""The conventional DBMS's own optimizer.
+
+The paper's layered architecture leaves the optimization of DBMS-side plan
+fragments to the DBMS itself ("these are expressed in the language supported
+by the DBMS ... which will perform its own optimization").  This module plays
+that role for the substrate: a small, heuristic, multiset-semantics rewriter
+that (1) pushes selections toward the leaves, (2) removes redundant duplicate
+eliminations and sorts that are not outermost, (3) merges projection
+cascades, and (4) leaves everything else alone.  It deliberately reuses the
+core rule catalogue — restricted to ≡L and ≡M rules, which are always safe
+for an engine that only promises multisets — applying rules greedily to a
+fixpoint rather than enumerating alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.equivalence import EquivalenceType
+from ..core.operations import Operation, Sort
+from ..core.rules import CONVENTIONAL_RULES, DUPLICATE_RULES, SORTING_RULES
+from ..core.rules.base import TransformationRule
+
+#: Rule names that push work toward the leaves or remove redundant work.
+_HEURISTIC_RULE_NAMES = {
+    "σ-below-π",
+    "σ-below-sort",
+    "σ-below-rdup",
+    "σ-into-×-left",
+    "σ-into-×-right",
+    "σ-below-⊔",
+    "σ-into-\\-left",
+    "σ-below-γ",
+    "π-cascade",
+    "D1",
+    "D-idem",
+    "S1",
+    "S3",
+}
+
+
+def _heuristic_rules() -> List[TransformationRule]:
+    rules: List[TransformationRule] = []
+    for rule in CONVENTIONAL_RULES + DUPLICATE_RULES + SORTING_RULES:
+        if rule.name in _HEURISTIC_RULE_NAMES and rule.equivalence in (
+            EquivalenceType.LIST,
+            EquivalenceType.MULTISET,
+        ):
+            rules.append(rule)
+    return rules
+
+
+class ConventionalOptimizer:
+    """Greedy, fixpoint-based rewriter for DBMS-side plan fragments."""
+
+    def __init__(self, rules: Optional[Sequence[TransformationRule]] = None, max_passes: int = 25) -> None:
+        self._rules: List[TransformationRule] = list(rules) if rules is not None else _heuristic_rules()
+        self._max_passes = max_passes
+
+    @property
+    def rules(self) -> Sequence[TransformationRule]:
+        """The rewrite rules the optimizer applies."""
+        return tuple(self._rules)
+
+    def optimize(self, plan: Operation) -> Operation:
+        """Rewrite ``plan`` to a fixpoint (or until the pass budget runs out).
+
+        The engine only promises multisets, so interior sorts that feed
+        order-insensitive conventional operations could also be dropped; the
+        optimizer keeps them, however, because the stratum may rely on the
+        order of what it receives (rule S2 is the stratum optimizer's call to
+        make, not the DBMS's).
+        """
+        current = plan
+        for _ in range(self._max_passes):
+            rewritten = self._single_pass(current)
+            if rewritten is None:
+                return current
+            current = rewritten
+        return current
+
+    def _single_pass(self, plan: Operation) -> Optional[Operation]:
+        for rule in self._rules:
+            for location, node in plan.locations():
+                result = rule.apply(node)
+                if result is None:
+                    continue
+                replacement = plan.replace_at(location, result.replacement)
+                if replacement == plan:
+                    continue
+                return replacement
+        return None

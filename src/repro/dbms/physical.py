@@ -1,0 +1,413 @@
+"""Iterator-based physical operators of the conventional DBMS substrate.
+
+The executor compiles (conventional) logical plans into trees of these
+operators.  Each operator is a Python iterable of
+:class:`~repro.core.tuples.Tuple` objects with an ``output_schema``; blocking
+operators (sort, hash aggregate, hash distinct) materialise their input, the
+rest stream.  The engine has *multiset* semantics: except for
+:class:`SortOperator` no operator promises anything about output order — the
+reason the paper's transfer rules only preserve ≡M.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.expressions import AggregateFunction, Expression, ProjectionItem
+from ..core.order_spec import OrderSpec
+from ..core.relation import Relation
+from ..core.schema import RelationSchema
+from ..core.tuples import Tuple
+
+
+class PhysicalOperator:
+    """Base class: an iterable of tuples with a known output schema."""
+
+    def __init__(self, output_schema: RelationSchema) -> None:
+        self.output_schema = output_schema
+
+    def __iter__(self) -> Iterator[Tuple]:
+        raise NotImplementedError
+
+    def to_relation(self) -> Relation:
+        """Drain the operator into a relation."""
+        return Relation(self.output_schema, list(self))
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented physical-plan rendering (EXPLAIN output)."""
+        lines = [" " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 2))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """One-line description of the operator."""
+        return type(self).__name__
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        """Child operators, for EXPLAIN."""
+        return ()
+
+
+class TableScan(PhysicalOperator):
+    """Scan a stored (or literal) relation."""
+
+    def __init__(self, relation: Relation, name: Optional[str] = None) -> None:
+        super().__init__(relation.schema)
+        self._relation = relation
+        self._name = name or relation.schema.name or "relation"
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._relation)
+
+    def describe(self) -> str:
+        return f"TableScan({self._name}, rows={len(self._relation)})"
+
+
+class FilterOperator(PhysicalOperator):
+    """Apply a predicate to every input tuple."""
+
+    def __init__(self, predicate: Expression, child: PhysicalOperator) -> None:
+        super().__init__(child.output_schema)
+        self._predicate = predicate
+        self._child = child
+
+    def __iter__(self) -> Iterator[Tuple]:
+        for tup in self._child:
+            if self._predicate.evaluate(tup):
+                yield tup
+
+    def describe(self) -> str:
+        return f"Filter({self._predicate})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+
+class ProjectOperator(PhysicalOperator):
+    """Compute projection items for every input tuple."""
+
+    def __init__(
+        self,
+        items: Sequence[ProjectionItem],
+        output_schema: RelationSchema,
+        child: PhysicalOperator,
+    ) -> None:
+        super().__init__(output_schema)
+        self._items = tuple(items)
+        self._child = child
+
+    def __iter__(self) -> Iterator[Tuple]:
+        for tup in self._child:
+            values = {item.output_name: item.expression.evaluate(tup) for item in self._items}
+            yield Tuple(self.output_schema, values)
+
+    def describe(self) -> str:
+        return "Project(" + ", ".join(str(item) for item in self._items) + ")"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+
+class RelabelOperator(PhysicalOperator):
+    """Rebuild input tuples positionally over a different schema.
+
+    Used where a logical operation demotes the reserved time attributes
+    (``T1`` -> ``1.T1``) without changing any value.
+    """
+
+    def __init__(self, output_schema: RelationSchema, child: PhysicalOperator) -> None:
+        super().__init__(output_schema)
+        self._child = child
+
+    def __iter__(self) -> Iterator[Tuple]:
+        attributes = self.output_schema.attributes
+        for tup in self._child:
+            yield Tuple(self.output_schema, dict(zip(attributes, tup.values())))
+
+    def describe(self) -> str:
+        return f"Relabel({', '.join(self.output_schema.attributes)})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+
+class SortOperator(PhysicalOperator):
+    """Materialise and stably sort the input."""
+
+    def __init__(self, order: OrderSpec, child: PhysicalOperator) -> None:
+        super().__init__(child.output_schema)
+        self._order = order
+        self._child = child
+
+    def __iter__(self) -> Iterator[Tuple]:
+        key = self._order.comparison_key()
+        return iter(sorted(self._child, key=key))
+
+    def describe(self) -> str:
+        return f"Sort({self._order})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+
+class HashDistinct(PhysicalOperator):
+    """Remove duplicate tuples using a hash set (first occurrence wins)."""
+
+    def __init__(self, child: PhysicalOperator, output_schema: Optional[RelationSchema] = None) -> None:
+        super().__init__(output_schema or child.output_schema)
+        self._child = child
+
+    def __iter__(self) -> Iterator[Tuple]:
+        seen = set()
+        attributes = self.output_schema.attributes
+        for tup in self._child:
+            relabelled = (
+                tup
+                if tup.schema == self.output_schema
+                else Tuple(self.output_schema, dict(zip(attributes, tup.values())))
+            )
+            if relabelled in seen:
+                continue
+            seen.add(relabelled)
+            yield relabelled
+
+    def describe(self) -> str:
+        return "HashDistinct"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+
+class HashAggregate(PhysicalOperator):
+    """Group by a hash table and compute aggregate functions per group."""
+
+    def __init__(
+        self,
+        grouping: Sequence[str],
+        functions: Sequence[AggregateFunction],
+        output_schema: RelationSchema,
+        child: PhysicalOperator,
+        group_output_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(output_schema)
+        self._grouping = tuple(grouping)
+        self._functions = tuple(functions)
+        self._child = child
+        self._group_output_names = tuple(group_output_names or grouping)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        groups: Dict[PyTuple, List[Tuple]] = {}
+        order: List[PyTuple] = []
+        for tup in self._child:
+            key = tuple(tup[attribute] for attribute in self._grouping)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(tup)
+        for key in order:
+            values = dict(zip(self._group_output_names, key))
+            for function in self._functions:
+                values[function.output_name] = function.compute(groups[key])
+            yield Tuple(self.output_schema, values)
+
+    def describe(self) -> str:
+        functions = ", ".join(str(function) for function in self._functions)
+        return f"HashAggregate(by={list(self._grouping)}; {functions})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._child,)
+
+
+class NestedLoopProduct(PhysicalOperator):
+    """Cartesian product by nested loops (right input materialised)."""
+
+    def __init__(
+        self,
+        output_schema: RelationSchema,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+    ) -> None:
+        super().__init__(output_schema)
+        self._left = left
+        self._right = right
+
+    def __iter__(self) -> Iterator[Tuple]:
+        right_rows = list(self._right)
+        attributes = self.output_schema.attributes
+        for left_tuple in self._left:
+            for right_tuple in right_rows:
+                values = list(left_tuple.values()) + list(right_tuple.values())
+                yield Tuple(self.output_schema, dict(zip(attributes, values)))
+
+    def describe(self) -> str:
+        return "NestedLoopProduct"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._left, self._right)
+
+
+class HashJoin(PhysicalOperator):
+    """Equi-join: hash the right input on the join keys, probe with the left."""
+
+    def __init__(
+        self,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        residual: Optional[Expression],
+        output_schema: RelationSchema,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+    ) -> None:
+        super().__init__(output_schema)
+        self._left_keys = tuple(left_keys)
+        self._right_keys = tuple(right_keys)
+        self._residual = residual
+        self._left = left
+        self._right = right
+
+    def __iter__(self) -> Iterator[Tuple]:
+        table: Dict[PyTuple, List[Tuple]] = {}
+        for right_tuple in self._right:
+            key = tuple(right_tuple[attribute] for attribute in self._right_keys)
+            table.setdefault(key, []).append(right_tuple)
+        attributes = self.output_schema.attributes
+        for left_tuple in self._left:
+            key = tuple(left_tuple[attribute] for attribute in self._left_keys)
+            for right_tuple in table.get(key, ()):
+                values = list(left_tuple.values()) + list(right_tuple.values())
+                joined = Tuple(self.output_schema, dict(zip(attributes, values)))
+                if self._residual is None or self._residual.evaluate(joined):
+                    yield joined
+
+    def describe(self) -> str:
+        keys = ", ".join(f"{l}={r}" for l, r in zip(self._left_keys, self._right_keys))
+        return f"HashJoin({keys})"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._left, self._right)
+
+
+class UnionAllOperator(PhysicalOperator):
+    """Concatenate two inputs."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        super().__init__(left.output_schema)
+        self._left = left
+        self._right = right
+
+    def __iter__(self) -> Iterator[Tuple]:
+        attributes = self.output_schema.attributes
+        for tup in self._left:
+            yield tup
+        for tup in self._right:
+            if tup.schema == self.output_schema:
+                yield tup
+            else:
+                yield Tuple(self.output_schema, {a: tup[a] for a in attributes})
+
+    def describe(self) -> str:
+        return "UnionAll"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._left, self._right)
+
+
+class HashMultisetDifference(PhysicalOperator):
+    """Multiset difference (EXCEPT ALL) using occurrence counters."""
+
+    def __init__(
+        self,
+        output_schema: RelationSchema,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+    ) -> None:
+        super().__init__(output_schema)
+        self._left = left
+        self._right = right
+
+    def __iter__(self) -> Iterator[Tuple]:
+        attributes = self.output_schema.attributes
+
+        def relabel(tup: Tuple) -> Tuple:
+            if tup.schema == self.output_schema:
+                return tup
+            return Tuple(self.output_schema, dict(zip(attributes, tup.values())))
+
+        budget: Dict[Tuple, int] = {}
+        for tup in self._right:
+            relabelled = relabel(tup)
+            budget[relabelled] = budget.get(relabelled, 0) + 1
+        for tup in self._left:
+            relabelled = relabel(tup)
+            if budget.get(relabelled, 0) > 0:
+                budget[relabelled] -= 1
+                continue
+            yield relabelled
+
+    def describe(self) -> str:
+        return "HashMultisetDifference"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._left, self._right)
+
+
+class HashMultisetUnion(PhysicalOperator):
+    """Multiset union (max of occurrence counts per tuple)."""
+
+    def __init__(
+        self,
+        output_schema: RelationSchema,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+    ) -> None:
+        super().__init__(output_schema)
+        self._left = left
+        self._right = right
+
+    def __iter__(self) -> Iterator[Tuple]:
+        attributes = self.output_schema.attributes
+
+        def relabel(tup: Tuple) -> Tuple:
+            if tup.schema == self.output_schema:
+                return tup
+            return Tuple(self.output_schema, dict(zip(attributes, tup.values())))
+
+        left_rows = [relabel(tup) for tup in self._left]
+        right_rows = [relabel(tup) for tup in self._right]
+        left_counts: Dict[Tuple, int] = {}
+        for tup in left_rows:
+            left_counts[tup] = left_counts.get(tup, 0) + 1
+        right_counts: Dict[Tuple, int] = {}
+        for tup in right_rows:
+            right_counts[tup] = right_counts.get(tup, 0) + 1
+        for tup in left_rows:
+            yield tup
+        surplus = {
+            tup: max(0, count - left_counts.get(tup, 0)) for tup, count in right_counts.items()
+        }
+        for tup in right_rows:
+            if surplus.get(tup, 0) > 0:
+                surplus[tup] -= 1
+                yield tup
+
+    def describe(self) -> str:
+        return "HashMultisetUnion"
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self._left, self._right)
+
+
+class MaterializedInput(PhysicalOperator):
+    """Wrap an already-computed relation (e.g. an emulated temporal fragment)."""
+
+    def __init__(self, relation: Relation, note: str = "materialized") -> None:
+        super().__init__(relation.schema)
+        self._relation = relation
+        self._note = note
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._relation)
+
+    def describe(self) -> str:
+        return f"Materialized({self._note}, rows={len(self._relation)})"

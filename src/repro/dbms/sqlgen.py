@@ -1,0 +1,160 @@
+"""SQL generation for plan fragments shipped to the conventional DBMS.
+
+In the stratum architecture, the parts of a query plan below a ``TS``
+transfer "are expressed in the language supported by the DBMS, e.g. SQL, and
+are then passed to the DBMS, which will perform its own optimization"
+(Section 2.1).  This module renders conventional logical subtrees as SQL
+text.  The generated SQL targets a generic SQL dialect with ``EXCEPT ALL``;
+temporal operations cannot be rendered (there is no SQL counterpart), which
+is precisely why the stratum exists — attempting to render one raises
+:class:`~repro.core.exceptions.SQLGenerationError` so that the layer keeps
+such operations on its own side of the boundary (or knowingly lets the engine
+emulate them).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.exceptions import SQLGenerationError
+from ..core.expressions import _quote_identifier
+from ..core.operations import (
+    Aggregation,
+    BaseRelation,
+    CartesianProduct,
+    Difference,
+    DuplicateElimination,
+    Join,
+    LiteralRelation,
+    Operation,
+    Projection,
+    Selection,
+    Sort,
+    TransferToDBMS,
+    TransferToStratum,
+    Union,
+    UnionAll,
+)
+from ..core.order_spec import OrderSpec
+from ..core.period import T1, T2
+
+
+def to_sql(plan: Operation, pretty: bool = False) -> str:
+    """Render a conventional logical subtree as a SQL statement."""
+    sql = _render(plan, alias_counter=_AliasCounter())
+    if pretty:
+        return _prettify(sql)
+    return sql
+
+
+class _AliasCounter:
+    """Generates the derived-table aliases SQL requires."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def fresh(self) -> str:
+        self._next += 1
+        return f"t{self._next}"
+
+
+def _order_by(order: OrderSpec) -> str:
+    keys = ", ".join(f"{_quote_identifier(key.attribute)} {key.direction.value}" for key in order)
+    return f" ORDER BY {keys}" if keys else ""
+
+
+def _render(node: Operation, alias_counter: _AliasCounter) -> str:
+    if isinstance(node, BaseRelation):
+        return f"SELECT * FROM {_quote_identifier(node.relation_name)}"
+    if isinstance(node, LiteralRelation):
+        raise SQLGenerationError(
+            "literal relations must be loaded into the DBMS as (temporary) tables "
+            "before SQL can reference them"
+        )
+    if isinstance(node, (TransferToDBMS, TransferToStratum)):
+        return _render(node.child, alias_counter)
+    if isinstance(node, Selection):
+        child = _render(node.child, alias_counter)
+        alias = alias_counter.fresh()
+        return f"SELECT * FROM ({child}) AS {alias} WHERE {node.predicate.to_sql()}"
+    if isinstance(node, Projection):
+        child = _render(node.child, alias_counter)
+        alias = alias_counter.fresh()
+        items = ", ".join(item.to_sql() for item in node.items)
+        return f"SELECT {items} FROM ({child}) AS {alias}"
+    if isinstance(node, Sort):
+        child = _render(node.child, alias_counter)
+        alias = alias_counter.fresh()
+        return f"SELECT * FROM ({child}) AS {alias}{_order_by(node.sort_order)}"
+    if isinstance(node, DuplicateElimination):
+        child = _render(node.child, alias_counter)
+        alias = alias_counter.fresh()
+        columns = _dedup_columns(node)
+        return f"SELECT DISTINCT {columns} FROM ({child}) AS {alias}"
+    if isinstance(node, Aggregation):
+        child = _render(node.child, alias_counter)
+        alias = alias_counter.fresh()
+        group_items: List[str] = []
+        select_items: List[str] = []
+        for attribute in node.grouping:
+            quoted = _quote_identifier(attribute)
+            group_items.append(quoted)
+            if attribute in (T1, T2):
+                select_items.append(f"{quoted} AS {_quote_identifier('1.' + attribute)}")
+            else:
+                select_items.append(quoted)
+        select_items += [function.to_sql() for function in node.functions]
+        select_clause = ", ".join(select_items) if select_items else "COUNT(*)"
+        group_clause = f" GROUP BY {', '.join(group_items)}" if group_items else ""
+        return f"SELECT {select_clause} FROM ({child}) AS {alias}{group_clause}"
+    if isinstance(node, Join):
+        left = _render(node.left, alias_counter)
+        right = _render(node.right, alias_counter)
+        left_alias, right_alias = alias_counter.fresh(), alias_counter.fresh()
+        return (
+            f"SELECT * FROM ({left}) AS {left_alias} JOIN ({right}) AS {right_alias} "
+            f"ON {node.predicate.to_sql()}"
+        )
+    if isinstance(node, CartesianProduct):
+        left = _render(node.left, alias_counter)
+        right = _render(node.right, alias_counter)
+        left_alias, right_alias = alias_counter.fresh(), alias_counter.fresh()
+        return f"SELECT * FROM ({left}) AS {left_alias} CROSS JOIN ({right}) AS {right_alias}"
+    if isinstance(node, Difference):
+        left = _render(node.left, alias_counter)
+        right = _render(node.right, alias_counter)
+        return f"({left}) EXCEPT ALL ({right})"
+    if isinstance(node, UnionAll):
+        left = _render(node.left, alias_counter)
+        right = _render(node.right, alias_counter)
+        return f"({left}) UNION ALL ({right})"
+    if isinstance(node, Union):
+        raise SQLGenerationError(
+            "the multiset (max-count) union has no direct SQL counterpart; "
+            "keep it in the stratum or rewrite it via UNION ALL and difference"
+        )
+    raise SQLGenerationError(
+        f"operation {node.label()!r} has no SQL counterpart in the conventional DBMS"
+    )
+
+
+def _dedup_columns(node: DuplicateElimination) -> str:
+    child_schema = node.child.output_schema()
+    output_schema = node.output_schema()
+    if child_schema.attributes == output_schema.attributes:
+        return "*"
+    # A temporal argument: the time attributes are demoted to 1.T1 / 1.T2.
+    rendered = []
+    for source, target in zip(child_schema.attributes, output_schema.attributes):
+        if source == target:
+            rendered.append(_quote_identifier(source))
+        else:
+            rendered.append(f"{_quote_identifier(source)} AS {_quote_identifier(target)}")
+    return ", ".join(rendered)
+
+
+def _prettify(sql: str) -> str:
+    """A light-weight reformatting: break before the main clauses."""
+    for keyword in (" FROM ", " WHERE ", " GROUP BY ", " ORDER BY ", " UNION ALL ", " EXCEPT ALL "):
+        sql = sql.replace(keyword, "\n" + keyword.strip() + " ")
+    return sql

@@ -1,0 +1,34 @@
+"""The temporal layer (stratum) on top of the conventional DBMS substrate."""
+
+from .executor import StratumExecutionReport, StratumExecutor
+from .layer import (
+    OptimizationOutcome,
+    QueryOutcome,
+    TemporalDatabase,
+    TemporalQueryOptimizer,
+)
+from .partition import DBMS, PlanPartition, STRATUM, describe_partition, partition_plan
+from .temporal_exec import (
+    coalesce_fast,
+    temporal_difference_fast,
+    temporal_duplicate_elimination_fast,
+    temporal_union_fast,
+)
+
+__all__ = [
+    "DBMS",
+    "OptimizationOutcome",
+    "PlanPartition",
+    "QueryOutcome",
+    "STRATUM",
+    "StratumExecutionReport",
+    "StratumExecutor",
+    "TemporalDatabase",
+    "TemporalQueryOptimizer",
+    "coalesce_fast",
+    "describe_partition",
+    "partition_plan",
+    "temporal_difference_fast",
+    "temporal_duplicate_elimination_fast",
+    "temporal_union_fast",
+]

@@ -1,0 +1,130 @@
+"""The stratum's executor: run a partitioned plan across both engines.
+
+Execution is recursive over the plan:
+
+* the subtree below a ``TS`` transfer is handed to the conventional DBMS
+  (after first executing any ``TD`` islands inside it in the stratum and
+  splicing their materialised results back in as literal relations);
+* every node above runs in the stratum, using the efficient temporal
+  implementations of :mod:`repro.stratum.temporal_exec` for the temporal
+  operations and the reference semantics for the conventional ones;
+* a base relation referenced directly from stratum territory is fetched from
+  the DBMS catalog — logically an implicit transfer, which the execution
+  report counts as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..core.exceptions import EngineError
+from ..core.operations import (
+    BaseRelation,
+    Coalescing,
+    LiteralRelation,
+    Operation,
+    Sort,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalUnion,
+    TransferToDBMS,
+    TransferToStratum,
+)
+from ..core.operations.base import EvaluationContext
+from ..core.relation import Relation
+from ..dbms.engine import ConventionalDBMS
+from .temporal_exec import (
+    coalesce_fast,
+    temporal_difference_fast,
+    temporal_duplicate_elimination_fast,
+    temporal_union_fast,
+)
+
+
+@dataclass
+class StratumExecutionReport:
+    """What happened while the stratum executed one plan."""
+
+    dbms_calls: int = 0
+    dbms_emulated_operations: List[str] = field(default_factory=list)
+    stratum_operations: int = 0
+    implicit_transfers: int = 0
+    transferred_tuples: int = 0
+
+
+class StratumExecutor:
+    """Execute logical plans across the stratum and the conventional DBMS."""
+
+    def __init__(self, dbms: ConventionalDBMS, optimize_dbms_fragments: bool = True) -> None:
+        self._dbms = dbms
+        self._optimize_dbms_fragments = optimize_dbms_fragments
+        self.report = StratumExecutionReport()
+
+    def execute(self, plan: Operation) -> Relation:
+        """Execute ``plan`` and return its result relation."""
+        self.report = StratumExecutionReport()
+        return self._execute_stratum(plan)
+
+    # -- stratum side ------------------------------------------------------------
+
+    def _execute_stratum(self, node: Operation) -> Relation:
+        if isinstance(node, TransferToStratum):
+            return self._execute_in_dbms(node.child)
+        if isinstance(node, TransferToDBMS):
+            # A TD with stratum work above it (and no enclosing TS) simply
+            # materialises in the stratum; the data stays where it is.
+            return self._execute_stratum(node.child)
+        if isinstance(node, BaseRelation):
+            self.report.implicit_transfers += 1
+            relation = self._dbms.catalog.table(node.relation_name).relation
+            self.report.transferred_tuples += len(relation)
+            return relation
+        if isinstance(node, LiteralRelation):
+            return node.relation
+        child_results = [self._execute_stratum(child) for child in node.children]
+        self.report.stratum_operations += 1
+        return self._apply(node, child_results)
+
+    def _apply(self, node: Operation, child_results: Sequence[Relation]) -> Relation:
+        derived_order = node.result_order([relation.order for relation in child_results])
+        if isinstance(node, TemporalDuplicateElimination):
+            result = temporal_duplicate_elimination_fast(child_results[0])
+        elif isinstance(node, Coalescing):
+            result = coalesce_fast(child_results[0])
+        elif isinstance(node, TemporalDifference):
+            result = temporal_difference_fast(child_results[0], child_results[1])
+        elif isinstance(node, TemporalUnion):
+            result = temporal_union_fast(child_results[0], child_results[1])
+        else:
+            # Conventional operations (and the remaining temporal ones) use
+            # the reference semantics directly.
+            result = node._evaluate(list(child_results), EvaluationContext())
+        return result.with_order(derived_order)
+
+    # -- DBMS side ------------------------------------------------------------------
+
+    def _execute_in_dbms(self, fragment: Operation) -> Relation:
+        prepared = self._materialize_stratum_islands(fragment)
+        self.report.dbms_calls += 1
+        result = self._dbms.execute(prepared, optimize=self._optimize_dbms_fragments)
+        self.report.dbms_emulated_operations.extend(result.report.emulated_operations)
+        self.report.transferred_tuples += len(result.relation)
+        return result.relation
+
+    def _materialize_stratum_islands(self, fragment: Operation) -> Operation:
+        """Replace ``TD(sub)`` islands inside a DBMS fragment by literal relations."""
+        if isinstance(fragment, TransferToDBMS):
+            relation = self._execute_stratum(fragment.child)
+            self.report.transferred_tuples += len(relation)
+            return LiteralRelation(relation)
+        if isinstance(fragment, TransferToStratum):
+            raise EngineError(
+                "nested TS inside a DBMS fragment: the plan's transfer operations are unbalanced"
+            )
+        if not fragment.children:
+            return fragment
+        new_children = [self._materialize_stratum_islands(child) for child in fragment.children]
+        if all(new is old for new, old in zip(new_children, fragment.children)):
+            return fragment
+        return fragment.with_children(new_children)

@@ -1,0 +1,228 @@
+"""The temporal layer (stratum) and its end-to-end query service.
+
+:class:`TemporalDatabase` is the public face of the reproduction: it owns a
+conventional DBMS substrate holding the base tables, accepts temporal SQL
+statements (or hand-built algebra plans), optimizes them with the paper's
+machinery — plan enumeration over the typed transformation rules, guarded by
+the Table 2 operation properties, followed by cost-based selection — and
+executes the chosen plan across the two engines.
+
+The class mirrors the division of labour of Section 2.1: the front end maps
+the user query to an initial algebra expression that computes everything in
+the DBMS and transfers the result to the stratum; the optimizer then decides
+which operations the stratum should take over (temporal duplicate
+elimination, coalescing, temporal difference, ...) and where the sort should
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence
+
+from ..core.cost import CostModel, PlanCost, choose_best_plan, estimate_cost
+from ..core.enumeration import EnumerationResult, EnumerationStatistics, enumerate_plans
+from ..core.operations import Operation
+from ..core.operations.base import EvaluationContext
+from ..core.order_spec import OrderSpec
+from ..core.query import QueryResultSpec
+from ..core.relation import Relation
+from ..core.rules import DEFAULT_RULES
+from ..core.rules.base import TransformationRule
+from ..core.schema import RelationSchema
+from ..dbms.engine import ConventionalDBMS
+from .executor import StratumExecutionReport, StratumExecutor
+from .partition import describe_partition
+
+
+@dataclass
+class OptimizationOutcome:
+    """The result of optimizing one query."""
+
+    initial_plan: Operation
+    chosen_plan: Operation
+    chosen_cost: PlanCost
+    initial_cost: PlanCost
+    enumeration: EnumerationResult
+
+    @property
+    def plans_considered(self) -> int:
+        return len(self.enumeration)
+
+    @property
+    def improvement_factor(self) -> float:
+        """Estimated cost of the initial plan divided by the chosen plan's."""
+        if self.chosen_cost.total == 0:
+            return 1.0
+        return self.initial_cost.total / self.chosen_cost.total
+
+
+@dataclass
+class QueryOutcome:
+    """The full record of answering one query."""
+
+    relation: Relation
+    query_spec: QueryResultSpec
+    optimization: OptimizationOutcome
+    report: StratumExecutionReport
+    statement: Optional[str] = None
+
+
+class TemporalQueryOptimizer:
+    """Plan enumeration plus cost-based selection."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[TransformationRule]] = None,
+        cost_model: Optional[CostModel] = None,
+        max_plans: int = 3000,
+    ) -> None:
+        self.rules: Sequence[TransformationRule] = tuple(rules) if rules is not None else DEFAULT_RULES
+        self.cost_model = cost_model or CostModel()
+        self.max_plans = max_plans
+
+    def optimize(
+        self,
+        initial_plan: Operation,
+        query_spec: QueryResultSpec,
+        statistics: Optional[Mapping[str, int]] = None,
+    ) -> OptimizationOutcome:
+        """Enumerate equivalent plans and pick the cheapest one."""
+        enumeration = enumerate_plans(
+            initial_plan, query_spec, rules=self.rules, max_plans=self.max_plans
+        )
+        chosen_plan, chosen_cost = choose_best_plan(
+            enumeration.plans, statistics, self.cost_model
+        )
+        initial_cost = estimate_cost(initial_plan, statistics, self.cost_model)
+        return OptimizationOutcome(
+            initial_plan=initial_plan,
+            chosen_plan=chosen_plan,
+            chosen_cost=chosen_cost,
+            initial_cost=initial_cost,
+            enumeration=enumeration,
+        )
+
+
+class TemporalDatabase:
+    """A temporal DBMS realised as a stratum on top of a conventional DBMS."""
+
+    def __init__(
+        self,
+        dbms: Optional[ConventionalDBMS] = None,
+        optimizer: Optional[TemporalQueryOptimizer] = None,
+        optimize_queries: bool = True,
+    ) -> None:
+        self.dbms = dbms or ConventionalDBMS()
+        self.optimizer = optimizer or TemporalQueryOptimizer()
+        self.optimize_queries = optimize_queries
+
+    # -- data definition ---------------------------------------------------------
+
+    def register(self, name: str, relation: Relation, clustering: Optional[OrderSpec] = None) -> None:
+        """Store ``relation`` as base table ``name`` in the underlying DBMS."""
+        self.dbms.create_table(name, relation.schema, relation, clustering)
+
+    def create_table(self, name: str, schema: RelationSchema) -> None:
+        """Create an empty base table."""
+        self.dbms.create_table(name, schema)
+
+    def insert(self, name: str, rows) -> int:
+        """Append rows (in schema order) to a base table."""
+        return self.dbms.catalog.table(name).insert(rows)
+
+    def table(self, name: str) -> Relation:
+        """The current contents of a base table."""
+        return self.dbms.catalog.table(name).relation
+
+    def statistics(self) -> Mapping[str, int]:
+        """Base-table cardinalities, as used by the cost model."""
+        return self.dbms.statistics()
+
+    def evaluation_context(self) -> EvaluationContext:
+        """A reference-evaluation context over all base tables."""
+        context = EvaluationContext()
+        for name in self.dbms.catalog.table_names():
+            context = context.bind(name, self.dbms.catalog.table(name).relation)
+        return context
+
+    # -- querying -----------------------------------------------------------------
+
+    def parse(self, statement: str):
+        """Parse a temporal SQL statement into ``(initial plan, query spec)``."""
+        from ..tsql import translate_statement
+
+        return translate_statement(statement, self._schemas())
+
+    def query(self, statement: str) -> Relation:
+        """Parse, optimize, execute; return the result relation."""
+        return self.execute(statement).relation
+
+    def execute(self, statement: str) -> QueryOutcome:
+        """Parse, optimize and execute a temporal SQL statement."""
+        initial_plan, query_spec = self.parse(statement)
+        outcome = self.execute_plan(initial_plan, query_spec)
+        outcome.statement = statement
+        return outcome
+
+    def execute_plan(self, initial_plan: Operation, query_spec: QueryResultSpec) -> QueryOutcome:
+        """Optimize (optionally) and execute an algebra plan."""
+        if self.optimize_queries:
+            optimization = self.optimizer.optimize(initial_plan, query_spec, self.statistics())
+        else:
+            cost = estimate_cost(initial_plan, self.statistics(), self.optimizer.cost_model)
+            optimization = OptimizationOutcome(
+                initial_plan=initial_plan,
+                chosen_plan=initial_plan,
+                chosen_cost=cost,
+                initial_cost=cost,
+                enumeration=EnumerationResult([initial_plan], EnumerationStatistics(plans_generated=1)),
+            )
+        executor = StratumExecutor(self.dbms)
+        relation = executor.execute(optimization.chosen_plan)
+        return QueryOutcome(
+            relation=relation,
+            query_spec=query_spec,
+            optimization=optimization,
+            report=executor.report,
+        )
+
+    def run_plan(self, plan: Operation) -> Relation:
+        """Execute a plan as-is (no optimization)."""
+        executor = StratumExecutor(self.dbms)
+        return executor.execute(plan)
+
+    def evaluate_reference(self, plan: Operation) -> Relation:
+        """Evaluate a plan with the reference (specification-level) semantics."""
+        return plan.evaluate(self.evaluation_context())
+
+    # -- introspection --------------------------------------------------------------
+
+    def explain(self, statement: str) -> str:
+        """Initial plan, chosen plan and engine assignment for a statement."""
+        initial_plan, query_spec = self.parse(statement)
+        optimization = self.optimizer.optimize(initial_plan, query_spec, self.statistics())
+        lines = [
+            f"statement: {statement}",
+            f"result specification: {query_spec}",
+            "",
+            "initial plan:",
+            initial_plan.pretty(),
+            "",
+            f"plans enumerated: {optimization.plans_considered}",
+            f"estimated cost: initial={optimization.initial_cost.total:.1f} "
+            f"chosen={optimization.chosen_cost.total:.1f} "
+            f"(improvement {optimization.improvement_factor:.2f}x)",
+            "",
+            "chosen plan (with engine assignment):",
+            describe_partition(optimization.chosen_plan),
+        ]
+        return "\n".join(lines)
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _schemas(self) -> Mapping[str, RelationSchema]:
+        return {
+            name: self.dbms.catalog.table(name).schema
+            for name in self.dbms.catalog.table_names()
+        }

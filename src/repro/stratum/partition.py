@@ -1,0 +1,92 @@
+"""Partitioning of query plans between the stratum and the DBMS.
+
+A plan's transfer operations (``TS``/``TD``) mark where execution crosses the
+boundary between the temporal layer and the conventional DBMS: everything
+below a ``TS`` (until a ``TD`` switches back) runs in the DBMS, everything
+else runs in the stratum.  This module derives that engine assignment, the
+DBMS fragments that will be shipped as SQL, and summary statistics used by
+the benchmarks (how much of the plan each engine executes, how many transfer
+crossings a plan performs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple as PyTuple
+
+from ..core.operations import Operation, TransferToDBMS, TransferToStratum
+from ..core.operations.base import PlanPath, ROOT_PATH
+
+#: Engine labels.
+STRATUM = "stratum"
+DBMS = "dbms"
+
+
+@dataclass
+class PlanPartition:
+    """The engine assignment of one plan."""
+
+    assignment: Dict[PlanPath, str] = field(default_factory=dict)
+    dbms_fragments: List[PlanPath] = field(default_factory=list)
+    """Locations of the subtrees shipped to the DBMS (the children of each TS)."""
+    transfer_count: int = 0
+
+    def engine_of(self, path: PlanPath) -> str:
+        """The engine executing the node at ``path``."""
+        return self.assignment[path]
+
+    def operator_counts(self) -> Dict[str, int]:
+        """Number of operators executed by each engine."""
+        counts = {STRATUM: 0, DBMS: 0}
+        for engine in self.assignment.values():
+            counts[engine] += 1
+        return counts
+
+
+def partition_plan(plan: Operation) -> PlanPartition:
+    """Compute the engine assignment of ``plan``.
+
+    The root executes in the stratum (the layer receives the user query); a
+    ``TS`` node itself belongs to the engine *receiving* the data (the
+    stratum) while its subtree belongs to the DBMS, and symmetrically for
+    ``TD``.
+    """
+    partition = PlanPartition()
+
+    def assign(node: Operation, path: PlanPath, engine: str) -> None:
+        partition.assignment[path] = engine
+        child_engine = engine
+        if isinstance(node, TransferToStratum):
+            child_engine = DBMS
+            partition.transfer_count += 1
+            partition.dbms_fragments.append(path + (0,))
+        elif isinstance(node, TransferToDBMS):
+            child_engine = STRATUM
+            partition.transfer_count += 1
+        for index, child in enumerate(node.children):
+            assign(child, path + (index,), child_engine)
+
+    assign(plan, ROOT_PATH, STRATUM)
+    return partition
+
+
+def describe_partition(plan: Operation) -> str:
+    """Render the plan with each node's engine, for explain output."""
+    partition = partition_plan(plan)
+    lines: List[str] = []
+
+    def render(node: Operation, path: PlanPath, prefix: str, connector: str, child_prefix: str) -> None:
+        engine = partition.engine_of(path)
+        lines.append(f"{prefix}{connector}{node.label()}  [{engine}]")
+        for index, child in enumerate(node.children):
+            is_last = index == len(node.children) - 1
+            render(
+                child,
+                path + (index,),
+                child_prefix,
+                "└─ " if is_last else "├─ ",
+                child_prefix + ("   " if is_last else "│  "),
+            )
+
+    render(plan, ROOT_PATH, "", "", "")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Efficient stratum-side implementations of the temporal operations.
+
+The reference implementations in :mod:`repro.core.operations` follow the
+paper's λ-calculus definitions and repeatedly scan the whole tuple list, so
+they are quadratic in the relation size even when only a handful of tuples
+are value-equivalent.  The stratum — whose reason for existing is that
+"complex temporal operations ... are often not processed efficiently in
+conventional DBMSs and might advantageously be supported by the stratum" —
+uses the hash-partitioned algorithms in this module instead: only
+value-equivalent tuples interact in temporal duplicate elimination,
+coalescing, temporal difference and temporal union, so partitioning by the
+value part first reduces the work to the (small) equivalence classes.
+
+Every function is **list-compatible** with its reference counterpart: it
+produces the *identical* sequence of tuples, only faster.  This matters
+because several temporal operations are order-sensitive (Section 6); a
+faster implementation that merely produced a multiset-equivalent result
+could change the result of an enclosing order-sensitive operation.  The test
+suite cross-checks the outputs tuple-for-tuple on randomized inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple as PyTuple
+
+from ..core.period import Period, subtract_periods
+from ..core.relation import Relation
+from ..core.tuples import Tuple
+
+
+def _group_positions_by_value(tuples: Sequence[Tuple]) -> Dict[PyTuple, List[int]]:
+    groups: Dict[PyTuple, List[int]] = {}
+    for position, tup in enumerate(tuples):
+        groups.setdefault(tup.value_part(), []).append(position)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Temporal duplicate elimination
+# ---------------------------------------------------------------------------
+
+
+def temporal_duplicate_elimination_fast(relation: Relation) -> Relation:
+    """``rdupT`` with hash partitioning by value part.
+
+    The reference algorithm emits tuples in work-list order, where every cut
+    fragment occupies the slot of the tuple it was cut from.  Because tuples
+    of different value-equivalence classes never interact, the algorithm can
+    run per class (carrying the global slot of each work item along) and the
+    global output is re-assembled by sorting the per-class outputs by slot,
+    which reproduces the reference output exactly.
+    """
+    tuples = list(relation.tuples)
+    groups = _group_positions_by_value(tuples)
+    emitted: List[PyTuple[int, int, Tuple]] = []
+    for positions in groups.values():
+        # Work items are (slot, tuple); fragments inherit the slot of the
+        # tuple they replace, mirroring the in-place replacement of the
+        # reference definition.
+        work: List[PyTuple[int, Tuple]] = [(slot, tuples[slot]) for slot in positions]
+        sequence = 0
+        while work:
+            head_slot, head = work[0]
+            rest = work[1:]
+            overlap_index = None
+            for index, (_, candidate) in enumerate(rest):
+                if candidate.period.overlaps(head.period):
+                    overlap_index = index
+                    break
+            if overlap_index is None:
+                emitted.append((head_slot, sequence, head))
+                sequence += 1
+                work = rest
+                continue
+            slot, overlapping = rest[overlap_index]
+            fragments = [
+                (slot, overlapping.with_period(piece))
+                for piece in overlapping.period.subtract(head.period)
+            ]
+            work = [(head_slot, head)] + rest[:overlap_index] + fragments + rest[overlap_index + 1 :]
+    emitted.sort(key=lambda item: (item[0], item[1]))
+    return Relation(relation.schema, [tup for _, _, tup in emitted])
+
+
+# ---------------------------------------------------------------------------
+# Coalescing
+# ---------------------------------------------------------------------------
+
+
+def coalesce_fast(relation: Relation) -> Relation:
+    """``coalT`` with hash partitioning by value part.
+
+    Within each value-equivalence class the same earliest-pair-first merge
+    policy as the reference implementation runs to a fixpoint; each merged
+    tuple keeps the global position of its earliest participant, so sorting
+    the union of all classes by position reproduces the reference output
+    exactly.
+    """
+    tuples = list(relation.tuples)
+    groups = _group_positions_by_value(tuples)
+    merged_entries: List[PyTuple[int, Tuple]] = []
+    for positions in groups.values():
+        entries: List[List] = [[slot, tuples[slot]] for slot in positions]
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(entries)):
+                if changed:
+                    break
+                for j in range(i + 1, len(entries)):
+                    first, second = entries[i][1], entries[j][1]
+                    if not first.period.is_adjacent_to(second.period):
+                        continue
+                    entries[i] = [
+                        min(entries[i][0], entries[j][0]),
+                        first.with_period(first.period.merge(second.period)),
+                    ]
+                    del entries[j]
+                    changed = True
+                    break
+        merged_entries.extend((entry[0], entry[1]) for entry in entries)
+    merged_entries.sort(key=lambda entry: entry[0])
+    return Relation(relation.schema, [tup for _, tup in merged_entries])
+
+
+# ---------------------------------------------------------------------------
+# Temporal difference and union
+# ---------------------------------------------------------------------------
+
+
+def temporal_difference_fast(left: Relation, right: Relation) -> Relation:
+    """``\\T`` with the right argument hashed by value part."""
+    schema = left.schema
+    right_periods: Dict[PyTuple, List[Period]] = {}
+    for tup in right:
+        right_periods.setdefault(tup.value_part(), []).append(tup.period)
+    result: List[Tuple] = []
+    for tup in left:
+        aligned = tup.project(schema)
+        subtrahends = right_periods.get(aligned.value_part(), ())
+        if not subtrahends:
+            result.append(aligned)
+            continue
+        for fragment in subtract_periods(aligned.period, subtrahends):
+            result.append(aligned.with_period(fragment))
+    return Relation(schema, result)
+
+
+def temporal_union_fast(left: Relation, right: Relation) -> Relation:
+    """``∪T`` with the left argument hashed by value part."""
+    schema = left.schema
+    left_periods: Dict[PyTuple, List[Period]] = {}
+    result: List[Tuple] = []
+    for tup in left:
+        aligned = tup.project(schema)
+        result.append(aligned)
+        left_periods.setdefault(aligned.value_part(), []).append(aligned.period)
+    for tup in right:
+        aligned = tup.project(schema)
+        covering = left_periods.get(aligned.value_part(), ())
+        if not covering:
+            result.append(aligned)
+            continue
+        for fragment in subtract_periods(aligned.period, covering):
+            result.append(aligned.with_period(fragment))
+    return Relation(schema, result)

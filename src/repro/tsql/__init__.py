@@ -1,0 +1,21 @@
+"""A small temporal SQL-like front end producing initial algebra plans."""
+
+from .ast import AggregateItem, SelectBlock, SelectItem, SetCombinator, Statement
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_predicate, parse_statement
+from .translator import translate, translate_statement
+
+__all__ = [
+    "AggregateItem",
+    "SelectBlock",
+    "SelectItem",
+    "SetCombinator",
+    "Statement",
+    "Token",
+    "TokenType",
+    "parse_predicate",
+    "parse_statement",
+    "tokenize",
+    "translate",
+    "translate_statement",
+]

@@ -1,0 +1,104 @@
+"""Abstract syntax of the temporal SQL-like query language.
+
+The language is a deliberately small temporal variant of SQL — just enough to
+express the class of statements the paper's framework targets (Section 2.2):
+select/project/join blocks with optional grouping, combined with (temporal)
+set operators, and the three outermost modifiers that drive Definition 5.1:
+``DISTINCT``, ``ORDER BY`` and ``COALESCE``.
+
+Statement shape::
+
+    SELECT [DISTINCT] <items | *>
+    FROM <table> [, <table> ...]
+    [WHERE <predicate>]
+    [GROUP BY <attributes>]
+    { UNION ALL | UNION | UNION TEMPORAL | EXCEPT [ALL] | EXCEPT TEMPORAL  <next block> }*
+    [ORDER BY <attribute [ASC|DESC]> [, ...]]
+    [COALESCE]
+
+``DISTINCT`` on the first block is interpreted as the statement's outermost
+DISTINCT (duplicate-free result — duplicate-free *snapshots* for temporal
+statements); ``COALESCE`` requests a coalesced temporal result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple as PyTuple
+
+from ..core.expressions import AggregateFunction, Expression
+from ..core.order_spec import OrderSpec
+
+
+class SetCombinator(Enum):
+    """Operators combining two select blocks."""
+
+    UNION_ALL = "UNION ALL"
+    UNION = "UNION"
+    UNION_TEMPORAL = "UNION TEMPORAL"
+    EXCEPT = "EXCEPT"
+    EXCEPT_ALL = "EXCEPT ALL"
+    EXCEPT_TEMPORAL = "EXCEPT TEMPORAL"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of a SELECT list: an expression with an optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """An aggregate entry of a SELECT list (e.g. ``COUNT(*) AS n``)."""
+
+    function: AggregateFunction
+
+
+@dataclass
+class SelectBlock:
+    """One ``SELECT ... FROM ... [WHERE ...] [GROUP BY ...]`` block."""
+
+    tables: List[str]
+    items: List[object] = field(default_factory=list)
+    """``SelectItem`` / ``AggregateItem`` entries; empty means ``SELECT *``."""
+    distinct: bool = False
+    where: Optional[Expression] = None
+    group_by: List[str] = field(default_factory=list)
+
+    @property
+    def is_star(self) -> bool:
+        """True for ``SELECT *``."""
+        return not self.items
+
+    @property
+    def aggregates(self) -> List[AggregateFunction]:
+        """The aggregate functions appearing in the SELECT list."""
+        return [item.function for item in self.items if isinstance(item, AggregateItem)]
+
+    @property
+    def has_aggregation(self) -> bool:
+        """True if the block groups or aggregates."""
+        return bool(self.group_by) or bool(self.aggregates)
+
+
+@dataclass
+class Statement:
+    """A full statement: blocks joined by combinators plus outer modifiers."""
+
+    first: SelectBlock
+    combined: List[PyTuple[SetCombinator, SelectBlock]] = field(default_factory=list)
+    order_by: OrderSpec = field(default_factory=OrderSpec.unordered)
+    coalesce: bool = False
+
+    @property
+    def distinct(self) -> bool:
+        """The statement's outermost DISTINCT (taken from the first block)."""
+        return self.first.distinct
+
+    @property
+    def blocks(self) -> List[SelectBlock]:
+        """All select blocks, left to right."""
+        return [self.first] + [block for _, block in self.combined]

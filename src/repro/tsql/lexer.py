@@ -1,0 +1,111 @@
+"""Tokenizer for the temporal SQL-like language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+from ..core.exceptions import ParseError
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "UNION",
+    "EXCEPT",
+    "ALL",
+    "TEMPORAL",
+    "COALESCE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "BETWEEN",
+    "TRUE",
+    "FALSE",
+}
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+    def __str__(self) -> str:
+        return f"{self.value!r}"
+
+
+_SYMBOLS = ("<>", "<=", ">=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", ".")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens; raise :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            end = text.find("'", index + 1)
+            if end == -1:
+                raise ParseError(f"unterminated string literal at position {index}")
+            tokens.append(Token(TokenType.STRING, text[index + 1 : end], index))
+            index = end + 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (text[index].isdigit() or text[index] == "."):
+                index += 1
+            tokens.append(Token(TokenType.NUMBER, text[start:index], start))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] in "_."):
+                index += 1
+            word = text[start:index]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token(TokenType.SYMBOL, symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

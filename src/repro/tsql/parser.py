@@ -1,0 +1,298 @@
+"""Recursive-descent parser for the temporal SQL-like language."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple as PyTuple
+
+from ..core.exceptions import ParseError
+from ..core.expressions import (
+    AggregateFunction,
+    AggregateKind,
+    And,
+    Arithmetic,
+    ArithmeticOperator,
+    AttributeRef,
+    Comparison,
+    ComparisonOperator,
+    Expression,
+    Literal,
+    Not,
+    Or,
+)
+from ..core.order_spec import OrderSpec, SortDirection, SortKey
+from .ast import AggregateItem, SelectBlock, SelectItem, SetCombinator, Statement
+from .lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPERATORS = {
+    "=": ComparisonOperator.EQ,
+    "<>": ComparisonOperator.NE,
+    "<": ComparisonOperator.LT,
+    "<=": ComparisonOperator.LE,
+    ">": ComparisonOperator.GT,
+    ">=": ComparisonOperator.GE,
+}
+
+_AGGREGATE_KEYWORDS = {
+    "COUNT": AggregateKind.COUNT,
+    "SUM": AggregateKind.SUM,
+    "MIN": AggregateKind.MIN,
+    "MAX": AggregateKind.MAX,
+    "AVG": AggregateKind.AVG,
+}
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse ``text`` into a :class:`~repro.tsql.ast.Statement`."""
+    return _Parser(tokenize(text)).parse_statement()
+
+
+def parse_predicate(text: str) -> Expression:
+    """Parse a stand-alone predicate (useful in tests and examples)."""
+    parser = _Parser(tokenize(text))
+    predicate = parser.parse_disjunction()
+    parser.expect_end()
+    return predicate
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._index += 1
+        return token
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        if self.current.is_keyword(*keywords):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.type is TokenType.SYMBOL and self.current.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise ParseError(f"expected {keyword}, found {self.current} at position {self.current.position}")
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise ParseError(f"expected {symbol!r}, found {self.current} at position {self.current.position}")
+
+    def expect_identifier(self) -> str:
+        if self.current.type is not TokenType.IDENTIFIER:
+            raise ParseError(
+                f"expected an identifier, found {self.current} at position {self.current.position}"
+            )
+        return self.advance().value
+
+    def expect_end(self) -> None:
+        if self.current.type is not TokenType.END:
+            raise ParseError(f"unexpected trailing input at {self.current}")
+
+    # -- grammar -------------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        first = self.parse_select_block()
+        combined: List[PyTuple[SetCombinator, SelectBlock]] = []
+        while True:
+            combinator = self._parse_combinator()
+            if combinator is None:
+                break
+            combined.append((combinator, self.parse_select_block()))
+        order_by = self._parse_order_by()
+        coalesce = self.accept_keyword("COALESCE")
+        # ORDER BY may also follow COALESCE, accommodating both phrasings.
+        if not order_by and not coalesce:
+            pass
+        elif coalesce and not order_by:
+            order_by = self._parse_order_by()
+        self.expect_end()
+        return Statement(first=first, combined=combined, order_by=order_by, coalesce=coalesce)
+
+    def _parse_combinator(self) -> Optional[SetCombinator]:
+        if self.accept_keyword("UNION"):
+            if self.accept_keyword("ALL"):
+                return SetCombinator.UNION_ALL
+            if self.accept_keyword("TEMPORAL"):
+                return SetCombinator.UNION_TEMPORAL
+            return SetCombinator.UNION
+        if self.accept_keyword("EXCEPT"):
+            if self.accept_keyword("ALL"):
+                return SetCombinator.EXCEPT_ALL
+            if self.accept_keyword("TEMPORAL"):
+                return SetCombinator.EXCEPT_TEMPORAL
+            return SetCombinator.EXCEPT
+        return None
+
+    def _parse_order_by(self) -> OrderSpec:
+        if not self.accept_keyword("ORDER"):
+            return OrderSpec.unordered()
+        self.expect_keyword("BY")
+        keys: List[SortKey] = []
+        while True:
+            attribute = self.expect_identifier()
+            direction = SortDirection.ASC
+            if self.accept_keyword("ASC"):
+                direction = SortDirection.ASC
+            elif self.accept_keyword("DESC"):
+                direction = SortDirection.DESC
+            keys.append(SortKey(attribute, direction))
+            if not self.accept_symbol(","):
+                break
+        return OrderSpec(keys)
+
+    def parse_select_block(self) -> SelectBlock:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = self._parse_select_list()
+        self.expect_keyword("FROM")
+        tables = [self.expect_identifier()]
+        while self.accept_symbol(","):
+            tables.append(self.expect_identifier())
+        where: Optional[Expression] = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_disjunction()
+        group_by: List[str] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expect_identifier())
+            while self.accept_symbol(","):
+                group_by.append(self.expect_identifier())
+        return SelectBlock(
+            tables=tables, items=items, distinct=distinct, where=where, group_by=group_by
+        )
+
+    def _parse_select_list(self) -> List[object]:
+        if self.accept_symbol("*"):
+            return []
+        items: List[object] = [self._parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> object:
+        aggregate = self._try_parse_aggregate()
+        if aggregate is not None:
+            alias = self.expect_identifier() if self.accept_keyword("AS") else None
+            if alias is not None:
+                aggregate = AggregateFunction(aggregate.kind, aggregate.argument, alias)
+            return AggregateItem(aggregate)
+        expression = self.parse_additive()
+        alias = self.expect_identifier() if self.accept_keyword("AS") else None
+        return SelectItem(expression, alias)
+
+    def _try_parse_aggregate(self) -> Optional[AggregateFunction]:
+        token = self.current
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATE_KEYWORDS:
+            kind = _AGGREGATE_KEYWORDS[token.value]
+            self.advance()
+            self.expect_symbol("(")
+            argument: Optional[str] = None
+            if self.accept_symbol("*"):
+                if kind is not AggregateKind.COUNT:
+                    raise ParseError(f"{kind.value}(*) is not supported; name an attribute")
+            else:
+                argument = self.expect_identifier()
+            self.expect_symbol(")")
+            return AggregateFunction(kind, argument)
+        return None
+
+    # -- predicates -----------------------------------------------------------------
+
+    def parse_disjunction(self) -> Expression:
+        operands = [self.parse_conjunction()]
+        while self.accept_keyword("OR"):
+            operands.append(self.parse_conjunction())
+        return operands[0] if len(operands) == 1 else Or(*operands)
+
+    def parse_conjunction(self) -> Expression:
+        operands = [self.parse_negation()]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_negation())
+        return operands[0] if len(operands) == 1 else And(*operands)
+
+    def parse_negation(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return Not(self.parse_negation())
+        if self.current.type is TokenType.SYMBOL and self.current.value == "(":
+            # Could be a parenthesised predicate or a parenthesised arithmetic
+            # expression; try the predicate first and backtrack on failure.
+            saved = self._index
+            try:
+                self.advance()
+                inner = self.parse_disjunction()
+                self.expect_symbol(")")
+                return inner
+            except ParseError:
+                self._index = saved
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_additive()
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return And(
+                Comparison(ComparisonOperator.GE, left, low),
+                Comparison(ComparisonOperator.LE, left, high),
+            )
+        token = self.current
+        if token.type is TokenType.SYMBOL and token.value in _COMPARISON_OPERATORS:
+            operator = _COMPARISON_OPERATORS[self.advance().value]
+            right = self.parse_additive()
+            return Comparison(operator, left, right)
+        return left
+
+    # -- arithmetic -------------------------------------------------------------------
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while self.current.type is TokenType.SYMBOL and self.current.value in ("+", "-"):
+            operator = ArithmeticOperator.ADD if self.advance().value == "+" else ArithmeticOperator.SUB
+            left = Arithmetic(operator, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_primary()
+        while self.current.type is TokenType.SYMBOL and self.current.value in ("*", "/"):
+            operator = ArithmeticOperator.MUL if self.advance().value == "*" else ArithmeticOperator.DIV
+            left = Arithmetic(operator, left, self.parse_primary())
+        return left
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return AttributeRef(token.value)
+        if token.type is TokenType.SYMBOL and token.value == "(":
+            self.advance()
+            inner = self.parse_additive()
+            self.expect_symbol(")")
+            return inner
+        raise ParseError(f"unexpected token {token} at position {token.position}")

@@ -1,0 +1,41 @@
+"""Example data from the paper and scalable synthetic temporal workloads."""
+
+from .examples import (
+    EMPLOYEE_NAME_SCHEMA,
+    EMPLOYEE_SCHEMA,
+    PROJECT_SCHEMA,
+    employee_relation,
+    expected_result_relation,
+    figure3_r1,
+    figure3_r2_rows,
+    figure3_r3,
+    project_relation,
+)
+from .generator import (
+    DEPARTMENTS,
+    PROJECT_CODES,
+    WorkloadParameters,
+    generate_assignment_history,
+    generate_employees,
+    generate_projects,
+    scaled_paper_workload,
+)
+
+__all__ = [
+    "DEPARTMENTS",
+    "EMPLOYEE_NAME_SCHEMA",
+    "EMPLOYEE_SCHEMA",
+    "PROJECT_CODES",
+    "PROJECT_SCHEMA",
+    "WorkloadParameters",
+    "employee_relation",
+    "expected_result_relation",
+    "figure3_r1",
+    "figure3_r2_rows",
+    "figure3_r3",
+    "generate_assignment_history",
+    "generate_employees",
+    "generate_projects",
+    "project_relation",
+    "scaled_paper_workload",
+]

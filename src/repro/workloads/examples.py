@@ -1,0 +1,111 @@
+"""The paper's running example data (Figure 1) and derived relations (Figure 3).
+
+The EMPLOYEE and PROJECT relations use a closed-open representation for time
+periods whose granules denote months of some year; e.g. John is in Sales from
+January up to (not including) August.  The expected result of the motivating
+query — "which employees worked in a department, but not on any project, and
+when?", sorted, coalesced and without duplicates in its snapshots — is the
+``Result`` relation at the bottom right of Figure 1 and is reproduced here
+verbatim so tests and benchmarks can compare against it.
+"""
+
+from __future__ import annotations
+
+from ..core.order_spec import OrderSpec
+from ..core.relation import Relation
+from ..core.schema import RelationSchema, STRING
+
+#: Schema of the EMPLOYEE relation: (EmpName, Dept, T1, T2).
+EMPLOYEE_SCHEMA = RelationSchema.temporal(
+    [("EmpName", STRING), ("Dept", STRING)], name="EMPLOYEE"
+)
+
+#: Schema of the PROJECT relation: (EmpName, Prj, T1, T2).
+PROJECT_SCHEMA = RelationSchema.temporal(
+    [("EmpName", STRING), ("Prj", STRING)], name="PROJECT"
+)
+
+#: Schema of the query result and of the Figure 3 relations: (EmpName, T1, T2).
+EMPLOYEE_NAME_SCHEMA = RelationSchema.temporal([("EmpName", STRING)], name="Result")
+
+
+def employee_relation() -> Relation:
+    """The EMPLOYEE relation of Figure 1 (five tuples)."""
+    rows = [
+        ("John", "Sales", 1, 8),
+        ("John", "Advertising", 6, 11),
+        ("Anna", "Sales", 2, 6),
+        ("Anna", "Advertising", 2, 6),
+        ("Anna", "Sales", 6, 12),
+    ]
+    return Relation.from_rows(EMPLOYEE_SCHEMA, rows)
+
+
+def project_relation() -> Relation:
+    """The PROJECT relation of Figure 1 (eight tuples)."""
+    rows = [
+        ("John", "P1", 2, 3),
+        ("John", "P2", 5, 6),
+        ("John", "P1", 7, 8),
+        ("John", "P3", 9, 10),
+        ("Anna", "P2", 3, 4),
+        ("Anna", "P2", 5, 6),
+        ("Anna", "P3", 7, 8),
+        ("Anna", "P3", 9, 10),
+    ]
+    return Relation.from_rows(PROJECT_SCHEMA, rows)
+
+
+def expected_result_relation() -> Relation:
+    """The Result relation of Figure 1: the motivating query's expected answer.
+
+    Sorted by EmpName ascending, coalesced, and duplicate free in snapshots.
+    """
+    rows = [
+        ("Anna", 2, 3),
+        ("Anna", 4, 5),
+        ("Anna", 6, 7),
+        ("Anna", 8, 9),
+        ("Anna", 10, 12),
+        ("John", 1, 2),
+        ("John", 3, 5),
+        ("John", 6, 7),
+        ("John", 8, 9),
+        ("John", 10, 11),
+    ]
+    return Relation.from_rows(
+        EMPLOYEE_NAME_SCHEMA, rows, order=OrderSpec.ascending("EmpName")
+    )
+
+
+def figure3_r1() -> Relation:
+    """R1 = π_{EmpName,T1,T2}(EMPLOYEE) — the top-left relation of Figure 3."""
+    rows = [
+        ("John", 1, 8),
+        ("John", 6, 11),
+        ("Anna", 2, 6),
+        ("Anna", 2, 6),
+        ("Anna", 6, 12),
+    ]
+    return Relation.from_rows(EMPLOYEE_NAME_SCHEMA, rows)
+
+
+def figure3_r2_rows() -> list:
+    """The rows of R2 = rdup(R1) (time attributes demoted to ``1.T1``/``1.T2``)."""
+    return [
+        ("John", 1, 8),
+        ("John", 6, 11),
+        ("Anna", 2, 6),
+        ("Anna", 6, 12),
+    ]
+
+
+def figure3_r3() -> Relation:
+    """R3 = rdupT(R1) — the bottom relation of Figure 3."""
+    rows = [
+        ("John", 1, 8),
+        ("John", 8, 11),
+        ("Anna", 2, 6),
+        ("Anna", 6, 12),
+    ]
+    return Relation.from_rows(EMPLOYEE_NAME_SCHEMA, rows)

@@ -1,0 +1,196 @@
+"""Synthetic temporal workload generators.
+
+The paper evaluates its framework on a hand-sized example; the benchmarks of
+this reproduction additionally need *scalable* temporal relations whose shape
+can be controlled — how many regular duplicates they contain, how often
+value-equivalent tuples have adjacent periods (coalescing opportunities), and
+how often they overlap (temporal duplicates).  The generators here produce
+employee/project-style valid-time histories with those knobs, using a seeded
+:class:`random.Random` so every run (and every benchmark) is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.relation import Relation
+from ..core.schema import INTEGER, RelationSchema, STRING
+from .examples import EMPLOYEE_SCHEMA, PROJECT_SCHEMA
+
+
+@dataclass(frozen=True)
+class WorkloadParameters:
+    """Knobs controlling a generated valid-time history.
+
+    ``duplicate_ratio`` is the fraction of generated tuples that are exact
+    copies of an earlier tuple (regular duplicates); ``adjacency_ratio`` is
+    the fraction whose period starts exactly where an earlier value-equivalent
+    tuple's period ends (coalescing opportunities); ``overlap_ratio`` is the
+    fraction whose period overlaps an earlier value-equivalent tuple's period
+    (temporal duplicates).  The remaining tuples get independent periods.
+    """
+
+    tuples: int = 1000
+    entities: int = 100
+    time_span: int = 1000
+    max_duration: int = 50
+    duplicate_ratio: float = 0.1
+    adjacency_ratio: float = 0.2
+    overlap_ratio: float = 0.1
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        total = self.duplicate_ratio + self.adjacency_ratio + self.overlap_ratio
+        if total > 1.0 + 1e-9:
+            raise ValueError("duplicate, adjacency and overlap ratios may not exceed 1.0 combined")
+        if self.tuples < 0 or self.entities <= 0 or self.time_span <= 1:
+            raise ValueError("tuples must be >= 0, entities >= 1, time_span >= 2")
+
+
+DEPARTMENTS = (
+    "Sales",
+    "Advertising",
+    "Engineering",
+    "Support",
+    "Finance",
+    "Research",
+    "Operations",
+    "Legal",
+)
+
+PROJECT_CODES = tuple(f"P{i}" for i in range(1, 41))
+
+
+def _random_period(rng: random.Random, params: WorkloadParameters) -> PyTuple[int, int]:
+    start = rng.randrange(1, params.time_span)
+    duration = rng.randrange(1, params.max_duration + 1)
+    end = min(params.time_span + 1, start + duration)
+    return start, max(end, start + 1)
+
+
+def _generate_history(
+    rng: random.Random,
+    params: WorkloadParameters,
+    schema: RelationSchema,
+    make_values: "callable",
+) -> Relation:
+    rows: List[PyTuple] = []
+    by_value: dict = {}
+    for _ in range(params.tuples):
+        roll = rng.random()
+        if rows and roll < params.duplicate_ratio:
+            rows.append(rng.choice(rows))
+            continue
+        values = make_values(rng)
+        previous = by_value.get(values)
+        if previous is not None and roll < params.duplicate_ratio + params.adjacency_ratio:
+            # Start exactly where an earlier tuple for the same values ended.
+            _, previous_end = previous
+            if previous_end < params.time_span:
+                duration = rng.randrange(1, params.max_duration + 1)
+                period = (previous_end, min(params.time_span + 1, previous_end + duration))
+            else:
+                period = _random_period(rng, params)
+        elif previous is not None and roll < (
+            params.duplicate_ratio + params.adjacency_ratio + params.overlap_ratio
+        ):
+            # Overlap an earlier tuple for the same values.
+            previous_start, previous_end = previous
+            start = rng.randrange(previous_start, previous_end)
+            duration = rng.randrange(1, params.max_duration + 1)
+            period = (start, min(params.time_span + 1, start + duration))
+            period = (period[0], max(period[1], period[0] + 1))
+        else:
+            period = _random_period(rng, params)
+        rows.append(values + period)
+        by_value[values] = period
+    return Relation.from_rows(schema, rows)
+
+
+def generate_employees(params: Optional[WorkloadParameters] = None) -> Relation:
+    """Generate an EMPLOYEE-shaped valid-time history (EmpName, Dept, T1, T2)."""
+    params = params or WorkloadParameters()
+    rng = random.Random(params.seed)
+
+    def make_values(r: random.Random) -> PyTuple[str, str]:
+        return (f"emp{r.randrange(params.entities)}", r.choice(DEPARTMENTS))
+
+    return _generate_history(rng, params, EMPLOYEE_SCHEMA, make_values)
+
+
+def generate_projects(params: Optional[WorkloadParameters] = None) -> Relation:
+    """Generate a PROJECT-shaped valid-time history (EmpName, Prj, T1, T2)."""
+    params = params or WorkloadParameters()
+    rng = random.Random(params.seed + 1)
+
+    def make_values(r: random.Random) -> PyTuple[str, str]:
+        return (f"emp{r.randrange(params.entities)}", r.choice(PROJECT_CODES))
+
+    return _generate_history(rng, params, PROJECT_SCHEMA, make_values)
+
+
+def generate_assignment_history(
+    tuples: int,
+    entities: int = 100,
+    time_span: int = 1000,
+    seed: int = 7,
+    duplicate_ratio: float = 0.1,
+    adjacency_ratio: float = 0.2,
+    overlap_ratio: float = 0.1,
+) -> Relation:
+    """Generate a generic (Entity, Value, T1, T2) valid-time history.
+
+    A convenience wrapper used by benchmarks that do not care about the
+    EMPLOYEE/PROJECT attribute names.
+    """
+    schema = RelationSchema.temporal(
+        [("Entity", STRING), ("Value", INTEGER)], name="HISTORY"
+    )
+    params = WorkloadParameters(
+        tuples=tuples,
+        entities=entities,
+        time_span=time_span,
+        seed=seed,
+        duplicate_ratio=duplicate_ratio,
+        adjacency_ratio=adjacency_ratio,
+        overlap_ratio=overlap_ratio,
+    )
+    rng = random.Random(seed)
+
+    def make_values(r: random.Random) -> PyTuple[str, int]:
+        return (f"e{r.randrange(entities)}", r.randrange(10))
+
+    return _generate_history(rng, params, schema, make_values)
+
+
+def scaled_paper_workload(scale: int, seed: int = 11) -> PyTuple[Relation, Relation]:
+    """EMPLOYEE/PROJECT instances scaled up from the Figure 1 shape.
+
+    ``scale`` controls the number of employees; each employee receives a
+    department history with adjacency and overlap (so duplicate elimination
+    and coalescing have real work to do) and a sparser project history, making
+    the motivating query's behaviour observable at larger sizes.
+    """
+    employee_params = WorkloadParameters(
+        tuples=5 * scale,
+        entities=scale,
+        time_span=200,
+        max_duration=30,
+        duplicate_ratio=0.05,
+        adjacency_ratio=0.3,
+        overlap_ratio=0.15,
+        seed=seed,
+    )
+    project_params = WorkloadParameters(
+        tuples=8 * scale,
+        entities=scale,
+        time_span=200,
+        max_duration=10,
+        duplicate_ratio=0.05,
+        adjacency_ratio=0.1,
+        overlap_ratio=0.05,
+        seed=seed + 1,
+    )
+    return generate_employees(employee_params), generate_projects(project_params)

@@ -1,0 +1,98 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operations import BaseRelation
+from repro.core.operations.base import EvaluationContext
+from repro.dbms import ConventionalDBMS
+from repro.stratum import TemporalDatabase
+from repro.workloads import (
+    EMPLOYEE_SCHEMA,
+    PROJECT_SCHEMA,
+    employee_relation,
+    expected_result_relation,
+    figure3_r1,
+    figure3_r3,
+    project_relation,
+)
+
+#: The paper's motivating statement, in the front end's temporal SQL dialect.
+PAPER_STATEMENT = (
+    "SELECT DISTINCT EmpName FROM EMPLOYEE "
+    "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+    "ORDER BY EmpName COALESCE"
+)
+
+
+@pytest.fixture
+def employee():
+    """The EMPLOYEE relation of Figure 1."""
+    return employee_relation()
+
+
+@pytest.fixture
+def project():
+    """The PROJECT relation of Figure 1."""
+    return project_relation()
+
+
+@pytest.fixture
+def expected_result():
+    """The Result relation of Figure 1."""
+    return expected_result_relation()
+
+
+@pytest.fixture
+def r1():
+    """Relation R1 of Figure 3."""
+    return figure3_r1()
+
+
+@pytest.fixture
+def r3():
+    """Relation R3 of Figure 3 (rdupT(R1))."""
+    return figure3_r3()
+
+
+@pytest.fixture
+def paper_context(employee, project):
+    """Reference-evaluation context binding EMPLOYEE and PROJECT."""
+    return EvaluationContext({"EMPLOYEE": employee, "PROJECT": project})
+
+
+@pytest.fixture
+def employee_scan():
+    """A BaseRelation leaf for EMPLOYEE."""
+    return BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA)
+
+
+@pytest.fixture
+def project_scan():
+    """A BaseRelation leaf for PROJECT."""
+    return BaseRelation("PROJECT", PROJECT_SCHEMA)
+
+
+@pytest.fixture
+def dbms(employee, project):
+    """A conventional DBMS holding the paper's base tables."""
+    engine = ConventionalDBMS()
+    engine.load_relation("EMPLOYEE", employee)
+    engine.load_relation("PROJECT", project)
+    return engine
+
+
+@pytest.fixture
+def temporal_db(employee, project):
+    """A TemporalDatabase holding the paper's base tables."""
+    database = TemporalDatabase()
+    database.register("EMPLOYEE", employee)
+    database.register("PROJECT", project)
+    return database
+
+
+@pytest.fixture
+def paper_statement():
+    """The motivating query as a temporal SQL statement."""
+    return PAPER_STATEMENT

@@ -1,0 +1,103 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The strategies generate *small* relations over fixed schemas: property-based
+tests of the algebra and the transformation rules only need a handful of
+tuples to exercise every interesting interaction (duplicates, adjacent
+periods, overlapping periods, empty relations), and small sizes keep the
+quadratic reference implementations fast.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple as PyTuple
+
+from hypothesis import strategies as st
+
+from repro.core.order_spec import OrderSpec, SortKey, SortDirection
+from repro.core.relation import Relation
+from repro.core.schema import INTEGER, RelationSchema, STRING
+
+#: Temporal schema used by most property tests: (Name, Dept, T1, T2).
+TEMPORAL_SCHEMA = RelationSchema.temporal(
+    [("Name", STRING), ("Dept", STRING)], name="R"
+)
+
+#: A second, union-compatible temporal schema (different relation name only).
+TEMPORAL_SCHEMA_2 = RelationSchema.temporal(
+    [("Name", STRING), ("Dept", STRING)], name="S"
+)
+
+#: Narrow temporal schema (Name, T1, T2), as in Figure 3.
+NARROW_TEMPORAL_SCHEMA = RelationSchema.temporal([("Name", STRING)], name="N")
+
+#: Snapshot (non-temporal) schema used by conventional-operation tests.
+SNAPSHOT_SCHEMA = RelationSchema.snapshot(
+    [("Name", STRING), ("Amount", INTEGER)], name="C"
+)
+
+#: Small alphabets so that duplicates and value-equivalent tuples are common.
+NAMES = ("John", "Anna", "Mia")
+DEPARTMENTS = ("Sales", "Ads")
+AMOUNTS = (1, 2, 3)
+
+
+@st.composite
+def periods(draw, max_time: int = 10) -> PyTuple[int, int]:
+    """A closed-open period within [1, max_time+1)."""
+    start = draw(st.integers(min_value=1, max_value=max_time))
+    length = draw(st.integers(min_value=1, max_value=4))
+    return start, min(max_time + 1, start + length) if start + length > start else start + 1
+
+
+@st.composite
+def temporal_rows(draw) -> PyTuple[str, str, int, int]:
+    name = draw(st.sampled_from(NAMES))
+    dept = draw(st.sampled_from(DEPARTMENTS))
+    start, end = draw(periods())
+    return (name, dept, start, end)
+
+
+@st.composite
+def narrow_temporal_rows(draw) -> PyTuple[str, int, int]:
+    name = draw(st.sampled_from(NAMES))
+    start, end = draw(periods())
+    return (name, start, end)
+
+
+@st.composite
+def snapshot_rows(draw) -> PyTuple[str, int]:
+    return (draw(st.sampled_from(NAMES)), draw(st.sampled_from(AMOUNTS)))
+
+
+@st.composite
+def temporal_relations(draw, schema: RelationSchema = TEMPORAL_SCHEMA, max_size: int = 8) -> Relation:
+    """A small temporal relation over ``schema`` (with duplicates and overlaps likely)."""
+    rows = draw(st.lists(temporal_rows(), min_size=0, max_size=max_size))
+    return Relation.from_rows(schema, rows)
+
+
+@st.composite
+def narrow_temporal_relations(draw, max_size: int = 8) -> Relation:
+    """A small temporal relation over the (Name, T1, T2) schema."""
+    rows = draw(st.lists(narrow_temporal_rows(), min_size=0, max_size=max_size))
+    return Relation.from_rows(NARROW_TEMPORAL_SCHEMA, rows)
+
+
+@st.composite
+def snapshot_relations(draw, max_size: int = 8) -> Relation:
+    """A small snapshot relation over the (Name, Amount) schema."""
+    rows = draw(st.lists(snapshot_rows(), min_size=0, max_size=max_size))
+    return Relation.from_rows(SNAPSHOT_SCHEMA, rows)
+
+
+@st.composite
+def order_specs(draw, attributes: PyTuple[str, ...] = ("Name", "Dept")) -> OrderSpec:
+    """A sort specification over a subset of ``attributes``."""
+    chosen: List[str] = draw(
+        st.lists(st.sampled_from(list(attributes)), unique=True, min_size=0, max_size=len(attributes))
+    )
+    keys = []
+    for attribute in chosen:
+        direction = draw(st.sampled_from([SortDirection.ASC, SortDirection.DESC]))
+        keys.append(SortKey(attribute, direction))
+    return OrderSpec(keys)

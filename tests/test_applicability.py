@@ -1,0 +1,156 @@
+"""Tests for rule applicability (Definition 5.1 and the Figure 5 conditions)."""
+
+from repro.core.applicability import (
+    is_rule_applicable,
+    results_acceptable,
+    rule_application_allowed,
+)
+from repro.core.equivalence import EquivalenceType
+from repro.core.operations import (
+    BaseRelation,
+    Coalescing,
+    Projection,
+    Sort,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TransferToStratum,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.order_spec import OrderSpec
+from repro.core.properties import OperationProperties, annotate
+from repro.core.query import QueryResultSpec
+from repro.core.relation import Relation
+from repro.core.rules import rules_by_name
+from repro.workloads import (
+    EMPLOYEE_NAME_SCHEMA,
+    EMPLOYEE_SCHEMA,
+    PROJECT_SCHEMA,
+)
+
+RULES = rules_by_name()
+
+FREE = OperationProperties(False, False, False)
+ORDERED = OperationProperties(True, False, False)
+DUPLICATES = OperationProperties(False, True, False)
+PERIODS = OperationProperties(False, False, True)
+ALL_SET = OperationProperties(True, True, True)
+
+
+class TestFigure5Conditions:
+    def test_list_rules_always_allowed(self):
+        assert rule_application_allowed(EquivalenceType.LIST, [ALL_SET])
+
+    def test_multiset_rules_need_no_order_requirement(self):
+        assert rule_application_allowed(EquivalenceType.MULTISET, [FREE, DUPLICATES])
+        assert not rule_application_allowed(EquivalenceType.MULTISET, [FREE, ORDERED])
+
+    def test_set_rules_need_no_order_and_no_duplicates(self):
+        assert rule_application_allowed(EquivalenceType.SET, [FREE])
+        assert not rule_application_allowed(EquivalenceType.SET, [DUPLICATES])
+        assert not rule_application_allowed(EquivalenceType.SET, [ORDERED])
+
+    def test_snapshot_list_rules_need_no_period_preservation(self):
+        assert rule_application_allowed(EquivalenceType.SNAPSHOT_LIST, [ORDERED, DUPLICATES])
+        assert not rule_application_allowed(EquivalenceType.SNAPSHOT_LIST, [PERIODS])
+
+    def test_snapshot_multiset_rules(self):
+        assert rule_application_allowed(EquivalenceType.SNAPSHOT_MULTISET, [DUPLICATES])
+        assert not rule_application_allowed(EquivalenceType.SNAPSHOT_MULTISET, [ORDERED])
+        assert not rule_application_allowed(EquivalenceType.SNAPSHOT_MULTISET, [PERIODS])
+
+    def test_snapshot_set_rules_need_everything_cleared(self):
+        assert rule_application_allowed(EquivalenceType.SNAPSHOT_SET, [FREE, FREE])
+        for blocked in (ORDERED, DUPLICATES, PERIODS):
+            assert not rule_application_allowed(EquivalenceType.SNAPSHOT_SET, [blocked])
+
+    def test_empty_involved_list_is_allowed(self):
+        for equivalence in EquivalenceType:
+            assert rule_application_allowed(equivalence, [])
+
+
+def paper_plan():
+    employee = Projection(["EmpName", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
+    project = Projection(["EmpName", "T1", "T2"], BaseRelation("PROJECT", PROJECT_SCHEMA))
+    difference = TemporalDifference(TemporalDuplicateElimination(employee), project)
+    return TransferToStratum(
+        Sort(OrderSpec.ascending("EmpName"), Coalescing(TemporalDuplicateElimination(difference)))
+    )
+
+
+LIST_QUERY = QueryResultSpec.list(OrderSpec.ascending("EmpName"), distinct=True)
+
+
+class TestIsRuleApplicable:
+    def test_d2_applicable_at_the_outer_rdupt(self):
+        """The Section 6 walk-through removes the outer rdupT with D2."""
+        plan = paper_plan()
+        # Outer rdupT sits below sort and coalT: path (0, 0, 0).
+        application = is_rule_applicable(plan, (0, 0, 0), RULES["D2"], LIST_QUERY)
+        assert application is not None
+
+    def test_d4_not_applicable_where_periods_matter(self):
+        plan = paper_plan()
+        # At the outer rdupT, PeriodPreserving holds for the operation itself
+        # (it sits above the coalescing region boundary? no — it is below
+        # coalT, so periods are free) but DuplicatesRelevant/OrderRequired do
+        # not block it either; D4 is allowed there.  At the *inner* rdupT the
+        # left argument of the difference must stay duplicate free, so the
+        # ≡SS rule D4 must be rejected.
+        inner_path = (0, 0, 0, 0, 0)
+        application = is_rule_applicable(plan, inner_path, RULES["D4"], LIST_QUERY)
+        assert application is None
+
+    def test_s2_not_applicable_at_the_outermost_sort_of_a_list_query(self):
+        plan = paper_plan()
+        application = is_rule_applicable(plan, (0,), RULES["S2"], LIST_QUERY)
+        assert application is None
+
+    def test_s2_applicable_for_multiset_queries(self):
+        plan = paper_plan()
+        application = is_rule_applicable(plan, (0,), RULES["S2"], QueryResultSpec.multiset())
+        assert application is not None
+
+    def test_c10_applicable_below_the_coalescing(self):
+        plan = paper_plan()
+        # First remove the outer rdupT as the walk-through does.
+        d2 = is_rule_applicable(plan, (0, 0, 0), RULES["D2"], LIST_QUERY)
+        plan2 = plan.replace_at((0, 0, 0), d2.replacement)
+        # Now coalT sits directly above the temporal difference at (0, 0).
+        application = is_rule_applicable(plan2, (0, 0), RULES["C10"], LIST_QUERY)
+        assert application is not None
+
+    def test_syntactic_mismatch_returns_none(self):
+        plan = paper_plan()
+        assert is_rule_applicable(plan, (), RULES["C10"], LIST_QUERY) is None
+
+
+class TestDefinition51:
+    def rel(self, *rows, order=None):
+        return Relation.from_rows(EMPLOYEE_NAME_SCHEMA, rows, order=order)
+
+    def test_set_query_accepts_set_equivalent_results(self):
+        query = QueryResultSpec.set()
+        a = self.rel(("a", 1, 2), ("a", 1, 2))
+        b = self.rel(("a", 1, 2))
+        assert results_acceptable(a, b, query)
+
+    def test_multiset_query_rejects_changed_duplicates(self):
+        query = QueryResultSpec.multiset()
+        a = self.rel(("a", 1, 2), ("a", 1, 2))
+        b = self.rel(("a", 1, 2))
+        assert not results_acceptable(a, b, query)
+        assert results_acceptable(a, self.rel(("a", 1, 2), ("a", 1, 2)), query)
+
+    def test_list_query_compares_only_order_by_attributes(self):
+        query = QueryResultSpec.list(OrderSpec.ascending("EmpName"))
+        a = self.rel(("a", 1, 2), ("b", 3, 4))
+        b = self.rel(("a", 9, 10), ("b", 3, 4))
+        assert results_acceptable(a, b, query)
+        assert not results_acceptable(a, self.rel(("b", 3, 4), ("a", 1, 2)), query)
+
+    def test_snapshot_equivalent_results_are_not_acceptable(self):
+        """Definition 5.1: a query must preserve periods faithfully."""
+        query = QueryResultSpec.multiset()
+        a = self.rel(("a", 1, 5))
+        b = self.rel(("a", 1, 3), ("a", 3, 5))
+        assert not results_acceptable(a, b, query)

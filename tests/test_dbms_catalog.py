@@ -1,0 +1,85 @@
+"""Tests for the DBMS catalog and stored tables."""
+
+import pytest
+
+from repro.core.exceptions import CatalogError, SchemaError
+from repro.core.order_spec import OrderSpec
+from repro.core.relation import Relation
+from repro.dbms.catalog import Catalog, Table, TableStatistics
+from repro.workloads import EMPLOYEE_SCHEMA, PROJECT_SCHEMA, employee_relation
+
+
+class TestTable:
+    def test_create_with_rows(self, employee):
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA, employee)
+        assert table.cardinality == 5
+        assert table.statistics.cardinality == 5
+        assert table.statistics.distinct_values["EmpName"] == 2
+
+    def test_create_empty(self):
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        assert table.cardinality == 0
+
+    def test_schema_mismatch_rejected(self, project):
+        with pytest.raises(SchemaError):
+            Table("EMPLOYEE", EMPLOYEE_SCHEMA, project)
+
+    def test_insert_rows(self):
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        added = table.insert([("Mia", "Sales", 1, 4), ("Mia", "Ads", 4, 9)])
+        assert added == 2
+        assert table.cardinality == 2
+        assert table.statistics.distinct_values["Dept"] == 2
+
+    def test_replace(self, employee):
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        table.replace(employee)
+        assert table.cardinality == 5
+
+    def test_clustering_order_annotates_relation(self, employee):
+        order = OrderSpec.ascending("EmpName")
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA, employee, clustering=order)
+        assert table.relation.order == order
+
+    def test_statistics_from_relation(self, employee):
+        stats = TableStatistics.from_relation(employee)
+        assert stats.cardinality == 5
+        assert stats.distinct_values["Dept"] == 2
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, employee):
+        catalog = Catalog()
+        catalog.create_table("EMPLOYEE", EMPLOYEE_SCHEMA, employee)
+        assert catalog.has_table("EMPLOYEE")
+        assert catalog.table("EMPLOYEE").cardinality == 5
+
+    def test_duplicate_names_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        with pytest.raises(CatalogError):
+            catalog.create_table("EMPLOYEE", EMPLOYEE_SCHEMA)
+
+    def test_missing_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("NOPE")
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        catalog.drop_table("EMPLOYEE")
+        assert not catalog.has_table("EMPLOYEE")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("EMPLOYEE")
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        catalog.create_table("PROJECT", PROJECT_SCHEMA)
+        catalog.create_table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        assert catalog.table_names() == ["EMPLOYEE", "PROJECT"]
+
+    def test_statistics(self, employee, project):
+        catalog = Catalog()
+        catalog.create_table("EMPLOYEE", EMPLOYEE_SCHEMA, employee)
+        catalog.create_table("PROJECT", PROJECT_SCHEMA, project)
+        assert catalog.statistics() == {"EMPLOYEE": 5, "PROJECT": 8}

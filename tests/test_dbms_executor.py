@@ -1,0 +1,177 @@
+"""Tests for the DBMS physical planner/executor and the engine facade."""
+
+import pytest
+
+from repro.core.equivalence import multiset_equivalent
+from repro.core.exceptions import CatalogError
+from repro.core.expressions import And, Comparison, ComparisonOperator, attribute, count, equals, greater_than
+from repro.core.operations import (
+    Aggregation,
+    BaseRelation,
+    CartesianProduct,
+    Coalescing,
+    Difference,
+    DuplicateElimination,
+    Join,
+    Projection,
+    Selection,
+    Sort,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    Union,
+    UnionAll,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.order_spec import OrderSpec
+from repro.dbms import ConventionalDBMS, PhysicalPlanner, extract_equi_join
+from repro.workloads import EMPLOYEE_SCHEMA, PROJECT_SCHEMA
+
+
+def employee_scan():
+    return BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA)
+
+
+def project_scan():
+    return BaseRelation("PROJECT", PROJECT_SCHEMA)
+
+
+@pytest.fixture
+def reference_context(employee, project):
+    return EvaluationContext({"EMPLOYEE": employee, "PROJECT": project})
+
+
+def check_matches_reference(dbms, plan, reference_context, optimize=True):
+    """The DBMS promises multiset semantics: compare against reference evaluation."""
+    produced = dbms.query(plan, optimize=optimize)
+    expected = plan.evaluate(reference_context)
+    assert multiset_equivalent(produced, expected), plan.pretty()
+    return produced
+
+
+class TestNativeExecution:
+    def test_scan(self, dbms, reference_context):
+        check_matches_reference(dbms, employee_scan(), reference_context)
+
+    def test_missing_table(self, dbms):
+        with pytest.raises(CatalogError):
+            dbms.query(BaseRelation("NOPE", EMPLOYEE_SCHEMA))
+
+    def test_selection_projection_sort(self, dbms, reference_context):
+        plan = Sort(
+            OrderSpec.ascending("EmpName"),
+            Projection(["EmpName", "Dept"], Selection(equals("Dept", "Sales"), employee_scan())),
+        )
+        result = check_matches_reference(dbms, plan, reference_context)
+        assert [tup["EmpName"] for tup in result] == ["Anna", "Anna", "John"]
+
+    def test_duplicate_elimination(self, dbms, reference_context):
+        plan = DuplicateElimination(Projection(["Dept"], employee_scan()))
+        result = check_matches_reference(dbms, plan, reference_context)
+        assert result.cardinality == 2
+
+    def test_aggregation(self, dbms, reference_context):
+        plan = Aggregation(["EmpName"], [count(alias="n")], employee_scan())
+        result = check_matches_reference(dbms, plan, reference_context)
+        assert {tup["EmpName"]: tup["n"] for tup in result} == {"John": 2, "Anna": 3}
+
+    def test_cartesian_product_and_difference_and_unions(self, dbms, reference_context):
+        product = CartesianProduct(employee_scan(), project_scan())
+        check_matches_reference(dbms, product, reference_context)
+        diff = Difference(Projection(["EmpName"], employee_scan()), Projection(["EmpName"], project_scan()))
+        check_matches_reference(dbms, diff, reference_context)
+        union_all = UnionAll(Projection(["EmpName"], employee_scan()), Projection(["EmpName"], project_scan()))
+        check_matches_reference(dbms, union_all, reference_context)
+        union = Union(Projection(["EmpName"], employee_scan()), Projection(["EmpName"], project_scan()))
+        check_matches_reference(dbms, union, reference_context)
+
+    def test_join_idiom_uses_hash_join(self, dbms, reference_context):
+        predicate = Comparison(
+            ComparisonOperator.EQ, attribute("1.EmpName"), attribute("2.EmpName")
+        )
+        plan = Join(predicate, employee_scan(), project_scan())
+        explanation = dbms.explain(plan, optimize=False)
+        assert "HashJoin" in explanation
+        check_matches_reference(dbms, plan, reference_context)
+
+    def test_selection_over_product_becomes_hash_join(self, dbms, reference_context):
+        predicate = Comparison(
+            ComparisonOperator.EQ, attribute("1.EmpName"), attribute("2.EmpName")
+        )
+        plan = Selection(predicate, CartesianProduct(employee_scan(), project_scan()))
+        explanation = dbms.explain(plan, optimize=False)
+        assert "HashJoin" in explanation
+        check_matches_reference(dbms, plan, reference_context)
+
+    def test_sort_result_is_ordered(self, dbms):
+        plan = Sort(OrderSpec.of("T1 DESC"), employee_scan())
+        result = dbms.query(plan)
+        values = [tup["T1"] for tup in result]
+        assert values == sorted(values, reverse=True)
+
+
+class TestEmulatedTemporalOperations:
+    def test_temporal_operations_are_emulated_and_counted(self, dbms, reference_context):
+        plan = Coalescing(
+            TemporalDuplicateElimination(Projection(["EmpName", "T1", "T2"], employee_scan()))
+        )
+        outcome = dbms.execute(plan, optimize=False)
+        assert outcome.report.emulation_count == 2
+        expected = plan.evaluate(reference_context)
+        assert multiset_equivalent(outcome.relation, expected)
+
+    def test_full_paper_query_fragment_is_executable_by_emulation(self, dbms, reference_context):
+        left = TemporalDuplicateElimination(Projection(["EmpName", "T1", "T2"], employee_scan()))
+        right = Projection(["EmpName", "T1", "T2"], project_scan())
+        plan = Sort(
+            OrderSpec.ascending("EmpName"),
+            Coalescing(TemporalDuplicateElimination(TemporalDifference(left, right))),
+        )
+        outcome = dbms.execute(plan, optimize=False)
+        assert outcome.report.emulation_count >= 4
+        expected = plan.evaluate(reference_context)
+        assert multiset_equivalent(outcome.relation, expected)
+
+
+class TestEquiJoinExtraction:
+    def test_single_equality(self):
+        predicate = Comparison(ComparisonOperator.EQ, attribute("A"), attribute("B"))
+        condition = extract_equi_join(predicate, ["A"], ["B"])
+        assert condition.left_keys == ("A",)
+        assert condition.right_keys == ("B",)
+        assert condition.residual is None
+
+    def test_reversed_sides(self):
+        predicate = Comparison(ComparisonOperator.EQ, attribute("B"), attribute("A"))
+        condition = extract_equi_join(predicate, ["A"], ["B"])
+        assert condition.left_keys == ("A",)
+
+    def test_conjunction_with_residual(self):
+        predicate = And(
+            Comparison(ComparisonOperator.EQ, attribute("A"), attribute("B")),
+            greater_than("C", 5),
+        )
+        condition = extract_equi_join(predicate, ["A", "C"], ["B"])
+        assert condition.left_keys == ("A",)
+        assert condition.residual is not None
+
+    def test_no_equality_returns_none(self):
+        assert extract_equi_join(greater_than("A", 5), ["A"], ["B"]) is None
+
+
+class TestEngineFacade:
+    def test_load_and_statistics(self, employee, project):
+        engine = ConventionalDBMS()
+        engine.load_relation("EMPLOYEE", employee)
+        engine.load_relation("PROJECT", project)
+        assert engine.statistics() == {"EMPLOYEE": 5, "PROJECT": 8}
+
+    def test_optimizer_is_applied_by_default(self, dbms):
+        plan = Selection(equals("Dept", "Sales"), Projection(["EmpName", "Dept"], employee_scan()))
+        outcome = dbms.execute(plan)
+        # The optimizer pushes the selection below the projection.
+        assert isinstance(outcome.optimized_plan, Projection)
+
+    def test_explain_renders_physical_plan(self, dbms):
+        plan = Sort(OrderSpec.ascending("EmpName"), employee_scan())
+        explanation = dbms.explain(plan)
+        assert "Sort" in explanation and "TableScan" in explanation

@@ -1,0 +1,175 @@
+"""Unit tests for the DBMS's iterator-based physical operators."""
+
+import pytest
+
+from repro.core.expressions import agg_sum, count, equals, greater_than
+from repro.core.order_spec import OrderSpec
+from repro.core.relation import Relation
+from repro.core.schema import INTEGER, RelationSchema, STRING
+from repro.core.expressions import ProjectionItem, attribute
+from repro.dbms.physical import (
+    FilterOperator,
+    HashAggregate,
+    HashDistinct,
+    HashJoin,
+    HashMultisetDifference,
+    HashMultisetUnion,
+    MaterializedInput,
+    NestedLoopProduct,
+    ProjectOperator,
+    RelabelOperator,
+    SortOperator,
+    TableScan,
+    UnionAllOperator,
+)
+
+PEOPLE = RelationSchema.snapshot([("Name", STRING), ("Amount", INTEGER)], name="PEOPLE")
+DEPTS = RelationSchema.snapshot([("Who", STRING), ("Dept", STRING)], name="DEPTS")
+
+
+def people(*rows):
+    return Relation.from_rows(PEOPLE, rows)
+
+
+def depts(*rows):
+    return Relation.from_rows(DEPTS, rows)
+
+
+DATA = people(("a", 1), ("b", 2), ("a", 3), ("c", 2), ("a", 1))
+
+
+class TestScanFilterProject:
+    def test_table_scan_streams_all_rows(self):
+        scan = TableScan(DATA, "PEOPLE")
+        assert len(list(scan)) == 5
+        assert scan.to_relation() == DATA
+        assert "PEOPLE" in scan.describe()
+
+    def test_filter(self):
+        operator = FilterOperator(greater_than("Amount", 1), TableScan(DATA))
+        assert [tup["Name"] for tup in operator] == ["b", "a", "c"]
+
+    def test_filter_is_restartable(self):
+        operator = FilterOperator(equals("Name", "a"), TableScan(DATA))
+        assert len(list(operator)) == 3
+        assert len(list(operator)) == 3  # iterating again re-reads the child
+
+    def test_project_plain_and_computed(self):
+        schema = RelationSchema.snapshot([("Name", STRING)])
+        operator = ProjectOperator([ProjectionItem(attribute("Name"))], schema, TableScan(DATA))
+        assert [tup["Name"] for tup in operator] == ["a", "b", "a", "c", "a"]
+
+    def test_relabel(self):
+        target = RelationSchema.snapshot([("N", STRING), ("A", INTEGER)])
+        operator = RelabelOperator(target, TableScan(DATA))
+        first = next(iter(operator))
+        assert first["N"] == "a" and first["A"] == 1
+
+    def test_explain_nests_children(self):
+        operator = FilterOperator(equals("Name", "a"), TableScan(DATA))
+        explanation = operator.explain()
+        assert explanation.splitlines()[0].startswith("Filter")
+        assert "TableScan" in explanation.splitlines()[1]
+
+
+class TestSortDistinctAggregate:
+    def test_sort(self):
+        operator = SortOperator(OrderSpec.of("Amount DESC", "Name"), TableScan(DATA))
+        assert [tup["Amount"] for tup in operator] == [3, 2, 2, 1, 1]
+
+    def test_distinct_keeps_first_occurrences(self):
+        operator = HashDistinct(TableScan(DATA))
+        assert [tuple(tup.values()) for tup in operator] == [
+            ("a", 1),
+            ("b", 2),
+            ("a", 3),
+            ("c", 2),
+        ]
+
+    def test_distinct_with_relabelled_output(self):
+        target = RelationSchema.snapshot([("N", STRING), ("A", INTEGER)])
+        operator = HashDistinct(TableScan(DATA), target)
+        assert operator.to_relation().schema == target
+        assert operator.to_relation().cardinality == 4
+
+    def test_aggregate(self):
+        operator = HashAggregate(
+            ["Name"],
+            [count(alias="n"), agg_sum("Amount", alias="total")],
+            RelationSchema.snapshot([("Name", STRING), ("n", INTEGER), ("total", INTEGER)]),
+            TableScan(DATA),
+        )
+        rows = {tup["Name"]: (tup["n"], tup["total"]) for tup in operator}
+        assert rows == {"a": (3, 5), "b": (1, 2), "c": (1, 2)}
+
+    def test_aggregate_group_output_renaming(self):
+        operator = HashAggregate(
+            ["Name"],
+            [count(alias="n")],
+            RelationSchema.snapshot([("Person", STRING), ("n", INTEGER)]),
+            TableScan(DATA),
+            group_output_names=["Person"],
+        )
+        assert {tup["Person"] for tup in operator} == {"a", "b", "c"}
+
+
+class TestJoinsAndSetOperators:
+    def test_nested_loop_product(self):
+        output = PEOPLE.concat(DEPTS)
+        operator = NestedLoopProduct(
+            output, TableScan(people(("a", 1), ("b", 2))), TableScan(depts(("a", "Sales")))
+        )
+        assert len(list(operator)) == 2
+
+    def test_hash_join_matches_keys(self):
+        output = PEOPLE.concat(DEPTS)
+        operator = HashJoin(
+            ["Name"],
+            ["Who"],
+            None,
+            output,
+            TableScan(people(("a", 1), ("b", 2), ("a", 3))),
+            TableScan(depts(("a", "Sales"), ("c", "Ads"))),
+        )
+        rows = list(operator)
+        assert len(rows) == 2
+        assert all(tup["Name"] == tup["Who"] for tup in rows)
+
+    def test_hash_join_residual_predicate(self):
+        output = PEOPLE.concat(DEPTS)
+        operator = HashJoin(
+            ["Name"],
+            ["Who"],
+            greater_than("Amount", 1),
+            output,
+            TableScan(people(("a", 1), ("a", 3))),
+            TableScan(depts(("a", "Sales"))),
+        )
+        rows = list(operator)
+        assert len(rows) == 1 and rows[0]["Amount"] == 3
+
+    def test_union_all(self):
+        operator = UnionAllOperator(TableScan(people(("a", 1))), TableScan(people(("b", 2))))
+        assert len(list(operator)) == 2
+
+    def test_multiset_difference(self):
+        operator = HashMultisetDifference(
+            PEOPLE,
+            TableScan(people(("a", 1), ("a", 1), ("b", 2))),
+            TableScan(people(("a", 1))),
+        )
+        assert [tuple(tup.values()) for tup in operator] == [("a", 1), ("b", 2)]
+
+    def test_multiset_union(self):
+        operator = HashMultisetUnion(
+            PEOPLE,
+            TableScan(people(("a", 1), ("a", 1))),
+            TableScan(people(("a", 1), ("b", 2))),
+        )
+        counts = operator.to_relation().as_multiset()
+        assert {tuple(k.values()): v for k, v in counts.items()} == {("a", 1): 2, ("b", 2): 1}
+
+    def test_materialized_input(self):
+        operator = MaterializedInput(DATA, note="emulated rdupT")
+        assert operator.to_relation() == DATA
+        assert "emulated rdupT" in operator.describe()

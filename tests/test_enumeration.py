@@ -1,0 +1,148 @@
+"""Tests for the plan enumeration algorithm (Section 6, Figure 5)."""
+
+import pytest
+
+from repro.core.applicability import results_acceptable
+from repro.core.enumeration import enumerate_plans
+from repro.core.exceptions import EnumerationError
+from repro.core.operations import (
+    BaseRelation,
+    Coalescing,
+    Projection,
+    Sort,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TransferToStratum,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.order_spec import OrderSpec
+from repro.core.query import QueryResultSpec
+from repro.core.rules import ALGEBRAIC_RULES, DEFAULT_RULES, rules_by_name
+from repro.workloads import EMPLOYEE_SCHEMA, PROJECT_SCHEMA, employee_relation, project_relation
+
+RULES = rules_by_name()
+
+
+def paper_plan():
+    employee = Projection(["EmpName", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
+    project = Projection(["EmpName", "T1", "T2"], BaseRelation("PROJECT", PROJECT_SCHEMA))
+    difference = TemporalDifference(TemporalDuplicateElimination(employee), project)
+    return TransferToStratum(
+        Sort(OrderSpec.ascending("EmpName"), Coalescing(TemporalDuplicateElimination(difference)))
+    )
+
+
+LIST_QUERY = QueryResultSpec.list(OrderSpec.ascending("EmpName"), distinct=True)
+
+
+class TestEnumerationBasics:
+    def test_initial_plan_is_always_included(self):
+        result = enumerate_plans(paper_plan(), LIST_QUERY)
+        assert paper_plan() in result
+
+    def test_generates_multiple_plans_for_the_paper_query(self):
+        result = enumerate_plans(paper_plan(), LIST_QUERY)
+        assert len(result) > 20
+        assert not result.statistics.truncated
+
+    def test_plans_are_unique(self):
+        result = enumerate_plans(paper_plan(), LIST_QUERY)
+        signatures = [plan.signature() for plan in result]
+        assert len(signatures) == len(set(signatures))
+
+    def test_statistics_are_recorded(self):
+        result = enumerate_plans(paper_plan(), LIST_QUERY)
+        stats = result.statistics
+        assert stats.plans_generated == len(result)
+        assert stats.applications_succeeded == len(result) - 1
+        assert stats.rule_usage
+        assert stats.applications_attempted > stats.applications_succeeded
+
+    def test_max_plans_budget(self):
+        result = enumerate_plans(paper_plan(), LIST_QUERY, max_plans=5)
+        assert len(result) == 5
+        assert result.statistics.truncated
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(EnumerationError):
+            enumerate_plans(paper_plan(), LIST_QUERY, max_plans=0)
+
+    def test_restricted_rule_set(self):
+        only_d2 = [RULES["D2"]]
+        result = enumerate_plans(paper_plan(), LIST_QUERY, rules=only_d2)
+        # The outer rdupT can be removed; nothing else matches.
+        assert len(result) == 2
+
+
+class TestDeterminism:
+    def test_same_inputs_same_plans(self):
+        first = enumerate_plans(paper_plan(), LIST_QUERY)
+        second = enumerate_plans(paper_plan(), LIST_QUERY)
+        assert [plan.signature() for plan in first] == [plan.signature() for plan in second]
+
+    def test_rule_order_does_not_change_the_plan_set(self):
+        forward = enumerate_plans(paper_plan(), LIST_QUERY, rules=list(DEFAULT_RULES))
+        backward = enumerate_plans(paper_plan(), LIST_QUERY, rules=list(reversed(DEFAULT_RULES)))
+        assert {plan.signature() for plan in forward} == {plan.signature() for plan in backward}
+
+
+class TestExpectedRewritesAreReachable:
+    def test_paper_walkthrough_plan_is_generated(self):
+        """Section 6: transfers pushed down, outer rdupT removed, coalescing pushed below \\T."""
+        result = enumerate_plans(paper_plan(), LIST_QUERY)
+        found_transfer_pushdown = False
+        found_coalescing_below_difference = False
+        for plan in result:
+            labels = [type(node).__name__ for _, node in plan.locations()]
+            if labels.count("TemporalDuplicateElimination") == 1:
+                found_transfer_pushdown = True
+            for _, node in plan.locations():
+                if isinstance(node, TemporalDifference) and isinstance(
+                    node.left, Coalescing
+                ):
+                    found_coalescing_below_difference = True
+        assert found_transfer_pushdown
+        assert found_coalescing_below_difference
+
+    def test_query_kind_restricts_the_plan_space(self):
+        """A multiset query admits rewrites (dropping the sort) a list query must not."""
+        list_plans = enumerate_plans(paper_plan(), LIST_QUERY)
+        multiset_plans = enumerate_plans(paper_plan(), QueryResultSpec.multiset())
+        sortless_in_multiset = any(
+            not plan.contains_operator(Sort) for plan in multiset_plans
+        )
+        sortless_in_list = any(not plan.contains_operator(Sort) for plan in list_plans)
+        assert sortless_in_multiset
+        assert not sortless_in_list
+
+
+class TestTheorem61Correctness:
+    """Every enumerated plan's result satisfies Definition 5.1 (Theorem 6.1)."""
+
+    def setup_method(self):
+        self.context = EvaluationContext(
+            {"EMPLOYEE": employee_relation(), "PROJECT": project_relation()}
+        )
+
+    def check_query(self, query):
+        reference = paper_plan().evaluate(self.context)
+        result = enumerate_plans(paper_plan(), query, max_plans=400)
+        for plan in result:
+            produced = plan.evaluate(self.context)
+            assert results_acceptable(reference, produced, query), plan.pretty()
+
+    def test_list_query(self):
+        self.check_query(LIST_QUERY)
+
+    def test_multiset_query(self):
+        self.check_query(QueryResultSpec.multiset())
+
+    def test_set_query(self):
+        self.check_query(QueryResultSpec.set())
+
+    def test_algebraic_rules_only(self):
+        query = LIST_QUERY
+        reference = paper_plan().evaluate(self.context)
+        result = enumerate_plans(paper_plan(), query, rules=ALGEBRAIC_RULES)
+        for plan in result:
+            assert results_acceptable(reference, plan.evaluate(self.context), query)

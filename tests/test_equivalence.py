@@ -1,0 +1,137 @@
+"""Tests for the six equivalence types (Section 3) and Theorem 3.1."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.equivalence import (
+    EquivalenceType,
+    equivalent,
+    implied_types,
+    implies,
+    list_equivalent,
+    list_equivalent_on,
+    multiset_equivalent,
+    set_equivalent,
+    snapshot_list_equivalent,
+    snapshot_multiset_equivalent,
+    snapshot_set_equivalent,
+    strongest_equivalence,
+)
+from repro.core.exceptions import TemporalSchemaError
+from repro.core.order_spec import OrderSpec
+from repro.core.relation import Relation
+from repro.workloads import EMPLOYEE_NAME_SCHEMA, figure3_r1, figure3_r3
+
+from .strategies import narrow_temporal_relations
+
+
+def rel(*rows):
+    return Relation.from_rows(EMPLOYEE_NAME_SCHEMA, rows)
+
+
+class TestConventionalEquivalences:
+    def test_list_equivalence_requires_same_order(self):
+        a = rel(("a", 1, 2), ("b", 1, 2))
+        b = rel(("b", 1, 2), ("a", 1, 2))
+        assert not list_equivalent(a, b)
+        assert multiset_equivalent(a, b)
+        assert set_equivalent(a, b)
+
+    def test_multiset_equivalence_counts_duplicates(self):
+        a = rel(("a", 1, 2), ("a", 1, 2))
+        b = rel(("a", 1, 2))
+        assert not multiset_equivalent(a, b)
+        assert set_equivalent(a, b)
+
+    def test_list_equivalence_identical(self):
+        a = rel(("a", 1, 2), ("b", 1, 2))
+        b = rel(("a", 1, 2), ("b", 1, 2))
+        assert list_equivalent(a, b)
+
+    def test_different_schemas_are_never_equivalent(self, employee):
+        a = rel(("a", 1, 2))
+        assert not set_equivalent(a, employee)
+
+    def test_list_equivalent_on_projects_to_order_attributes(self):
+        order = OrderSpec.ascending("EmpName")
+        a = rel(("a", 1, 2), ("b", 3, 4))
+        b = rel(("a", 5, 6), ("b", 3, 4))
+        # Same EmpName sequence, different periods: equivalent for ORDER BY EmpName.
+        assert list_equivalent_on(a, b, order)
+        c = rel(("b", 3, 4), ("a", 1, 2))
+        assert not list_equivalent_on(a, c, order)
+
+    def test_list_equivalent_on_requires_same_cardinality(self):
+        order = OrderSpec.ascending("EmpName")
+        assert not list_equivalent_on(rel(("a", 1, 2)), rel(("a", 1, 2), ("a", 3, 4)), order)
+
+
+class TestSnapshotEquivalences:
+    def test_figure3_r1_vs_r3(self):
+        r1, r3 = figure3_r1(), figure3_r3()
+        # The paper: the only equivalence between R1 and R3 is snapshot-set.
+        assert not list_equivalent(r1, r3)
+        assert not multiset_equivalent(r1, r3)
+        assert not set_equivalent(r1, r3)
+        assert not snapshot_list_equivalent(r1, r3)
+        assert not snapshot_multiset_equivalent(r1, r3)
+        assert snapshot_set_equivalent(r1, r3)
+
+    def test_snapshot_equivalence_of_repackaged_periods(self):
+        a = rel(("a", 1, 5))
+        b = rel(("a", 1, 3), ("a", 3, 5))
+        assert snapshot_multiset_equivalent(a, b)
+        assert not multiset_equivalent(a, b)
+
+    def test_snapshot_list_vs_multiset(self):
+        a = rel(("a", 1, 3), ("b", 1, 3))
+        b = rel(("b", 1, 3), ("a", 1, 3))
+        assert snapshot_multiset_equivalent(a, b)
+        assert not snapshot_list_equivalent(a, b)
+
+    def test_snapshot_equivalences_need_temporal_relations(self, employee):
+        snapshot = employee.snapshot(6)
+        with pytest.raises(TemporalSchemaError):
+            snapshot_set_equivalent(snapshot, snapshot)
+
+    def test_strongest_equivalence_report(self):
+        r1, r3 = figure3_r1(), figure3_r3()
+        assert strongest_equivalence(r1, r3) == [EquivalenceType.SNAPSHOT_SET]
+        assert EquivalenceType.LIST in strongest_equivalence(r1, figure3_r1())
+
+
+class TestTheorem31:
+    def test_direct_implications(self):
+        assert implies(EquivalenceType.LIST, EquivalenceType.MULTISET)
+        assert implies(EquivalenceType.MULTISET, EquivalenceType.SET)
+        assert implies(EquivalenceType.LIST, EquivalenceType.SNAPSHOT_LIST)
+        assert implies(EquivalenceType.MULTISET, EquivalenceType.SNAPSHOT_MULTISET)
+        assert implies(EquivalenceType.SET, EquivalenceType.SNAPSHOT_SET)
+        assert implies(EquivalenceType.SNAPSHOT_LIST, EquivalenceType.SNAPSHOT_MULTISET)
+        assert implies(EquivalenceType.SNAPSHOT_MULTISET, EquivalenceType.SNAPSHOT_SET)
+
+    def test_transitive_implications(self):
+        assert implies(EquivalenceType.LIST, EquivalenceType.SNAPSHOT_SET)
+        assert implies(EquivalenceType.MULTISET, EquivalenceType.SNAPSHOT_SET)
+
+    def test_non_implications(self):
+        assert not implies(EquivalenceType.SET, EquivalenceType.MULTISET)
+        assert not implies(EquivalenceType.SNAPSHOT_LIST, EquivalenceType.LIST)
+        assert not implies(EquivalenceType.SNAPSHOT_SET, EquivalenceType.SET)
+        assert not implies(EquivalenceType.SET, EquivalenceType.SNAPSHOT_MULTISET)
+
+    def test_every_type_implies_itself(self):
+        for equivalence in EquivalenceType:
+            assert implies(equivalence, equivalence)
+
+    def test_list_implies_everything(self):
+        assert implied_types(EquivalenceType.LIST) == frozenset(EquivalenceType)
+
+    @given(narrow_temporal_relations(), narrow_temporal_relations())
+    def test_implication_lattice_holds_on_random_relations(self, left, right):
+        """If a stronger equivalence holds between two relations, every implied one does."""
+        for stronger in EquivalenceType:
+            if not equivalent(stronger, left, right):
+                continue
+            for weaker in implied_types(stronger):
+                assert equivalent(weaker, left, right)

@@ -1,0 +1,171 @@
+"""Unit tests for scalar expressions, predicates, projection items and aggregates."""
+
+import pytest
+
+from repro.core.exceptions import AttributeNotFound, EvaluationError
+from repro.core.expressions import (
+    AggregateFunction,
+    AggregateKind,
+    And,
+    Arithmetic,
+    ArithmeticOperator,
+    AttributeRef,
+    Comparison,
+    ComparisonOperator,
+    Literal,
+    Not,
+    Or,
+    ProjectionItem,
+    agg_avg,
+    agg_max,
+    agg_min,
+    agg_sum,
+    attribute,
+    between,
+    count,
+    equals,
+    greater_than,
+    less_than,
+    literal,
+    not_equals,
+    projection_items,
+)
+from repro.core.schema import INTEGER, RelationSchema, STRING
+from repro.core.tuples import Tuple
+
+SCHEMA = RelationSchema.snapshot([("Name", STRING), ("Amount", INTEGER)])
+
+
+def row(name="John", amount=5):
+    return Tuple(SCHEMA, {"Name": name, "Amount": amount})
+
+
+class TestBasicExpressions:
+    def test_attribute_ref(self):
+        assert AttributeRef("Name").evaluate(row()) == "John"
+        assert AttributeRef("Name").attributes() == {"Name"}
+
+    def test_missing_attribute(self):
+        with pytest.raises(AttributeNotFound):
+            AttributeRef("Salary").evaluate(row())
+
+    def test_literal(self):
+        assert Literal(42).evaluate(row()) == 42
+        assert Literal(42).attributes() == frozenset()
+
+    def test_comparisons(self):
+        assert equals("Name", "John").evaluate(row())
+        assert not_equals("Name", "Anna").evaluate(row())
+        assert less_than("Amount", 10).evaluate(row())
+        assert greater_than("Amount", 1).evaluate(row())
+        assert Comparison(ComparisonOperator.LE, attribute("Amount"), literal(5)).evaluate(row())
+        assert Comparison(ComparisonOperator.GE, attribute("Amount"), literal(5)).evaluate(row())
+
+    def test_comparison_type_error_is_wrapped(self):
+        predicate = less_than("Name", 5)
+        with pytest.raises(EvaluationError):
+            predicate.evaluate(row())
+
+    def test_boolean_connectives(self):
+        predicate = And(equals("Name", "John"), greater_than("Amount", 1))
+        assert predicate.evaluate(row())
+        assert not And(equals("Name", "John"), greater_than("Amount", 10)).evaluate(row())
+        assert Or(equals("Name", "Anna"), equals("Name", "John")).evaluate(row())
+        assert Not(equals("Name", "Anna")).evaluate(row())
+
+    def test_between(self):
+        assert between("Amount", 1, 5).evaluate(row())
+        assert not between("Amount", 6, 9).evaluate(row())
+
+    def test_attributes_of_composite(self):
+        predicate = And(equals("Name", "John"), greater_than("Amount", 1))
+        assert predicate.attributes() == {"Name", "Amount"}
+
+    def test_arithmetic(self):
+        doubled = Arithmetic(ArithmeticOperator.MUL, attribute("Amount"), literal(2))
+        assert doubled.evaluate(row()) == 10
+        added = Arithmetic(ArithmeticOperator.ADD, attribute("Amount"), literal(1))
+        assert added.evaluate(row()) == 6
+        divided = Arithmetic(ArithmeticOperator.DIV, attribute("Amount"), literal(2))
+        assert divided.evaluate(row()) == 2.5
+
+    def test_division_by_zero(self):
+        division = Arithmetic(ArithmeticOperator.DIV, attribute("Amount"), literal(0))
+        with pytest.raises(EvaluationError):
+            division.evaluate(row())
+
+
+class TestSQLRendering:
+    def test_comparison_sql(self):
+        assert equals("Name", "John").to_sql() == "(Name = 'John')"
+
+    def test_string_escaping(self):
+        assert Literal("O'Brien").to_sql() == "'O''Brien'"
+
+    def test_boolean_sql(self):
+        sql = And(equals("Name", "John"), greater_than("Amount", 1)).to_sql()
+        assert "AND" in sql
+
+    def test_not_sql(self):
+        assert Not(equals("Name", "John")).to_sql().startswith("(NOT")
+
+    def test_identifier_quoting(self):
+        assert AttributeRef("1.T1").to_sql() == '"1.T1"'
+
+
+class TestProjectionItems:
+    def test_plain_attribute(self):
+        item = ProjectionItem(attribute("Name"))
+        assert item.output_name == "Name"
+        assert item.is_plain_attribute()
+
+    def test_alias(self):
+        item = ProjectionItem(attribute("Name"), alias="Who")
+        assert item.output_name == "Who"
+        assert not item.is_plain_attribute()
+
+    def test_computed_item_requires_alias(self):
+        item = ProjectionItem(Arithmetic(ArithmeticOperator.ADD, attribute("Amount"), literal(1)))
+        with pytest.raises(AttributeNotFound):
+            _ = item.output_name
+
+    def test_projection_items_helper(self):
+        items = projection_items("Name", ProjectionItem(attribute("Amount"), alias="Total"))
+        assert [item.output_name for item in items] == ["Name", "Total"]
+
+    def test_projection_items_helper_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            projection_items(42)
+
+
+class TestAggregates:
+    def rows(self):
+        return [row("a", 1), row("b", 2), row("c", 3)]
+
+    def test_count_star(self):
+        assert count().compute(self.rows()) == 3
+        assert count().output_name == "count"
+
+    def test_sum(self):
+        assert agg_sum("Amount").compute(self.rows()) == 6
+        assert agg_sum("Amount").output_name == "sum_Amount"
+
+    def test_min_max_avg(self):
+        assert agg_min("Amount").compute(self.rows()) == 1
+        assert agg_max("Amount").compute(self.rows()) == 3
+        assert agg_avg("Amount").compute(self.rows()) == 2
+
+    def test_empty_group(self):
+        assert count().compute([]) == 0
+        assert agg_sum("Amount").compute([]) is None
+
+    def test_alias(self):
+        assert agg_sum("Amount", alias="total").output_name == "total"
+
+    def test_non_count_requires_argument(self):
+        with pytest.raises(AttributeNotFound):
+            AggregateFunction(AggregateKind.SUM)
+
+    def test_sql(self):
+        assert agg_sum("Amount").to_sql() == "SUM(Amount) AS sum_Amount"
+        assert count().to_sql() == "COUNT(*) AS count"

@@ -1,0 +1,143 @@
+"""Tests for regular and temporal duplicate elimination, including Figure 3."""
+
+from hypothesis import given
+
+from repro.core.operations import (
+    DuplicateElimination,
+    LiteralRelation,
+    Projection,
+    TemporalDuplicateElimination,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.operations.duplicates import temporal_duplicate_elimination
+from repro.core.equivalence import snapshot_set_equivalent
+from repro.core.relation import Relation
+from repro.workloads import (
+    EMPLOYEE_SCHEMA,
+    employee_relation,
+    figure3_r1,
+    figure3_r2_rows,
+    figure3_r3,
+)
+
+from .strategies import narrow_temporal_relations, snapshot_relations
+
+CONTEXT = EvaluationContext()
+
+
+def run(op):
+    return op.evaluate(CONTEXT)
+
+
+class TestFigure3:
+    """The worked example of Section 2.5."""
+
+    def test_r1_is_the_projection_of_employee(self, r1):
+        projection = Projection(
+            ["EmpName", "T1", "T2"], LiteralRelation(employee_relation())
+        )
+        assert run(projection).as_list() == r1.as_list()
+
+    def test_regular_duplicate_elimination_yields_r2(self, r1):
+        result = run(DuplicateElimination(LiteralRelation(r1)))
+        # The time attributes are demoted to 1.T1 / 1.T2 (snapshot result).
+        assert result.schema.attributes == ("EmpName", "1.T1", "1.T2")
+        assert [tuple(tup.values()) for tup in result] == figure3_r2_rows()
+
+    def test_temporal_duplicate_elimination_yields_r3(self, r1, r3):
+        result = run(TemporalDuplicateElimination(LiteralRelation(r1)))
+        assert result.as_list() == r3.as_list()
+
+    def test_r3_john_period_was_cut(self, r1):
+        result = run(TemporalDuplicateElimination(LiteralRelation(r1)))
+        john = [tup for tup in result if tup["EmpName"] == "John"]
+        assert [(tup["T1"], tup["T2"]) for tup in john] == [(1, 8), (8, 11)]
+
+
+class TestRegularDuplicateElimination:
+    def test_keeps_first_occurrences_in_order(self):
+        from .strategies import SNAPSHOT_SCHEMA
+
+        relation = Relation.from_rows(
+            SNAPSHOT_SCHEMA, [("b", 1), ("a", 2), ("b", 1), ("a", 2), ("c", 3)]
+        )
+        result = run(DuplicateElimination(LiteralRelation(relation)))
+        assert [tup["Name"] for tup in result] == ["b", "a", "c"]
+
+    def test_snapshot_argument_schema_unchanged(self):
+        from .strategies import SNAPSHOT_SCHEMA
+
+        relation = Relation.from_rows(SNAPSHOT_SCHEMA, [("a", 1)])
+        result = run(DuplicateElimination(LiteralRelation(relation)))
+        assert result.schema == SNAPSHOT_SCHEMA
+
+    @given(snapshot_relations())
+    def test_result_never_has_duplicates(self, relation):
+        result = run(DuplicateElimination(LiteralRelation(relation)))
+        assert not result.has_duplicates()
+        assert result.as_set() == relation.as_set()
+
+    @given(snapshot_relations())
+    def test_idempotent(self, relation):
+        once = run(DuplicateElimination(LiteralRelation(relation)))
+        twice = run(DuplicateElimination(LiteralRelation(once)))
+        assert once.as_list() == twice.as_list()
+
+
+class TestTemporalDuplicateElimination:
+    def test_removes_regular_duplicates_too(self, r1):
+        result = run(TemporalDuplicateElimination(LiteralRelation(r1)))
+        assert not result.has_duplicates()
+
+    def test_nonoverlapping_relation_is_unchanged(self, r3):
+        result = run(TemporalDuplicateElimination(LiteralRelation(r3)))
+        assert result.as_list() == r3.as_list()
+
+    def test_empty_relation(self):
+        from .strategies import NARROW_TEMPORAL_SCHEMA
+
+        empty = Relation.empty(NARROW_TEMPORAL_SCHEMA)
+        assert run(TemporalDuplicateElimination(LiteralRelation(empty))).is_empty()
+
+    def test_contained_period_disappears(self):
+        from .strategies import NARROW_TEMPORAL_SCHEMA
+
+        relation = Relation.from_rows(NARROW_TEMPORAL_SCHEMA, [("a", 1, 10), ("a", 3, 5)])
+        result = run(TemporalDuplicateElimination(LiteralRelation(relation)))
+        assert [(tup["T1"], tup["T2"]) for tup in result] == [(1, 10)]
+
+    def test_interior_overlap_splits_later_tuple(self):
+        from .strategies import NARROW_TEMPORAL_SCHEMA
+
+        relation = Relation.from_rows(NARROW_TEMPORAL_SCHEMA, [("a", 3, 5), ("a", 1, 10)])
+        result = run(TemporalDuplicateElimination(LiteralRelation(relation)))
+        periods = [(tup["T1"], tup["T2"]) for tup in result]
+        assert periods == [(3, 5), (1, 3), (5, 10)]
+
+    @given(narrow_temporal_relations())
+    def test_result_has_no_snapshot_duplicates(self, relation):
+        result = run(TemporalDuplicateElimination(LiteralRelation(relation)))
+        assert not result.has_snapshot_duplicates()
+
+    @given(narrow_temporal_relations())
+    def test_result_is_snapshot_set_equivalent_to_argument(self, relation):
+        """Rule D4: rdupT(r) ≡SS r."""
+        result = run(TemporalDuplicateElimination(LiteralRelation(relation)))
+        assert snapshot_set_equivalent(result, relation)
+
+    @given(narrow_temporal_relations())
+    def test_cardinality_bound_of_table1(self, relation):
+        result = run(TemporalDuplicateElimination(LiteralRelation(relation)))
+        if relation.cardinality:
+            assert result.cardinality <= 2 * relation.cardinality - 1
+        else:
+            assert result.is_empty()
+
+    @given(narrow_temporal_relations())
+    def test_idempotent(self, relation):
+        once = run(TemporalDuplicateElimination(LiteralRelation(relation)))
+        twice = run(TemporalDuplicateElimination(LiteralRelation(once)))
+        assert once.as_list() == twice.as_list()
+
+    def test_helper_function_matches_operator(self, r1, r3):
+        assert temporal_duplicate_elimination(list(r1.tuples)) == list(r3.tuples)

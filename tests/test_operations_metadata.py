@@ -1,0 +1,229 @@
+"""Tests for the Table 1 metadata: result order, cardinality bounds, behaviours.
+
+These tests check that the *declared* metadata of every operation matches its
+*observed* behaviour: the derived order specification really describes the
+result's tuple sequence, the cardinality bounds really bound the result, and
+the duplicate/coalescing behaviour classes hold on concrete inputs.
+"""
+
+from hypothesis import given
+
+from repro.core.analysis import derive_cardinality_bounds, derive_order
+from repro.core.expressions import count, equals
+from repro.core.operations import (
+    ALL_OPERATION_TYPES,
+    Aggregation,
+    CartesianProduct,
+    Coalescing,
+    Difference,
+    DuplicateElimination,
+    LiteralRelation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalAggregation,
+    TemporalCartesianProduct,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalUnion,
+    TransferToDBMS,
+    TransferToStratum,
+    Union,
+    UnionAll,
+)
+from repro.core.operations.base import (
+    CoalescingBehavior,
+    DuplicateBehavior,
+    EvaluationContext,
+    Operation,
+)
+from repro.core.order_spec import OrderSpec
+from repro.workloads import EMPLOYEE_NAME_SCHEMA
+
+from .strategies import narrow_temporal_relations
+
+CONTEXT = EvaluationContext()
+
+
+def run(op):
+    return op.evaluate(CONTEXT)
+
+
+def sorted_literal(relation, *attributes):
+    return LiteralRelation(relation.sorted_by(OrderSpec.ascending(*attributes)))
+
+
+def build_unary_operations(child):
+    """One instance of every unary operation over ``child`` (narrow temporal schema)."""
+    return [
+        Selection(equals("Name", "John"), child),
+        Projection(["Name", "T1", "T2"], child),
+        DuplicateElimination(child),
+        TemporalDuplicateElimination(child),
+        Coalescing(child),
+        Sort(OrderSpec.ascending("Name"), child),
+        Aggregation(["Name"], [count()], child),
+        TemporalAggregation(["Name"], [count()], child),
+        TransferToStratum(child),
+        TransferToDBMS(child),
+    ]
+
+
+def build_binary_operations(left, right):
+    """One instance of every binary operation over two narrow temporal children."""
+    return [
+        UnionAll(left, right),
+        Union(left, right),
+        TemporalUnion(left, right),
+        Difference(left, right),
+        TemporalDifference(left, right),
+        CartesianProduct(left, right),
+        TemporalCartesianProduct(left, right),
+    ]
+
+
+class TestTable1Catalogue:
+    def test_every_operation_declares_its_paper_metadata(self):
+        for operation_type in ALL_OPERATION_TYPES:
+            assert operation_type.paper_order, operation_type
+            assert operation_type.paper_cardinality, operation_type
+            assert isinstance(operation_type.duplicate_behavior, DuplicateBehavior)
+            assert isinstance(operation_type.coalescing_behavior, CoalescingBehavior)
+
+    def test_order_sensitive_operations_match_section6(self):
+        order_sensitive = {
+            op.__name__
+            for op in ALL_OPERATION_TYPES
+            if op.order_sensitive
+        }
+        assert order_sensitive == {
+            "TemporalDuplicateElimination",
+            "Coalescing",
+            "TemporalDifference",
+            "TemporalUnion",
+            "TemporalAggregation",
+        }
+
+    def test_eliminating_operations(self):
+        eliminating = {
+            op.__name__
+            for op in ALL_OPERATION_TYPES
+            if op.duplicate_behavior is DuplicateBehavior.ELIMINATES
+        }
+        assert eliminating == {
+            "DuplicateElimination",
+            "TemporalDuplicateElimination",
+            "Aggregation",
+            "TemporalAggregation",
+        }
+
+    def test_only_coalescing_enforces_coalescing(self):
+        enforcing = [
+            op
+            for op in ALL_OPERATION_TYPES
+            if op.coalescing_behavior is CoalescingBehavior.ENFORCES
+        ]
+        assert enforcing == [Coalescing]
+
+
+class TestDerivedOrderDescribesResult:
+    @given(narrow_temporal_relations(max_size=6))
+    def test_unary_operations(self, relation):
+        child = sorted_literal(relation, "Name", "T1")
+        for operation in build_unary_operations(child):
+            derived = derive_order(operation)
+            result = run(operation)
+            if derived.is_unordered():
+                continue
+            resorted = result.sorted_by(derived)
+            assert list(resorted.tuples) == list(result.tuples), operation.label()
+
+    @given(narrow_temporal_relations(max_size=5), narrow_temporal_relations(max_size=5))
+    def test_binary_operations(self, left_relation, right_relation):
+        left = sorted_literal(left_relation, "Name", "T1")
+        right = sorted_literal(right_relation, "Name", "T1")
+        for operation in build_binary_operations(left, right):
+            derived = derive_order(operation)
+            result = run(operation)
+            if derived.is_unordered():
+                continue
+            resorted = result.sorted_by(derived)
+            assert list(resorted.tuples) == list(result.tuples), operation.label()
+
+
+class TestCardinalityBounds:
+    @given(narrow_temporal_relations(max_size=6))
+    def test_unary_operations(self, relation):
+        child = LiteralRelation(relation)
+        for operation in build_unary_operations(child):
+            low, high = derive_cardinality_bounds(operation)
+            cardinality = run(operation).cardinality
+            assert low <= cardinality <= high, operation.label()
+
+    @given(narrow_temporal_relations(max_size=5), narrow_temporal_relations(max_size=5))
+    def test_binary_operations(self, left_relation, right_relation):
+        left = LiteralRelation(left_relation)
+        right = LiteralRelation(right_relation)
+        for operation in build_binary_operations(left, right):
+            low, high = derive_cardinality_bounds(operation)
+            cardinality = run(operation).cardinality
+            assert low <= cardinality <= high, operation.label()
+
+
+class TestDuplicateBehaviour:
+    @given(narrow_temporal_relations(max_size=6))
+    def test_retaining_unary_operations_preserve_duplicate_freedom(self, relation):
+        deduplicated = run(DuplicateElimination(LiteralRelation(relation)))
+        # Re-attach the temporal schema by rebuilding rows (rdup demoted T1/T2).
+        if relation.has_duplicates():
+            return
+        child = LiteralRelation(relation)
+        for operation in build_unary_operations(child):
+            if operation.duplicate_behavior is not DuplicateBehavior.RETAINS:
+                continue
+            assert not run(operation).has_duplicates(), operation.label()
+
+    @given(narrow_temporal_relations(max_size=5), narrow_temporal_relations(max_size=5))
+    def test_retaining_binary_operations_preserve_duplicate_freedom(
+        self, left_relation, right_relation
+    ):
+        # The temporal operations retain duplicate freedom under the paper's
+        # usage assumption of snapshot-duplicate-free arguments (overlapping
+        # value-equivalent periods can otherwise be cut into equal fragments).
+        if left_relation.has_duplicates() or right_relation.has_duplicates():
+            return
+        if left_relation.has_snapshot_duplicates() or right_relation.has_snapshot_duplicates():
+            return
+        left = LiteralRelation(left_relation)
+        right = LiteralRelation(right_relation)
+        for operation in build_binary_operations(left, right):
+            if operation.duplicate_behavior is not DuplicateBehavior.RETAINS:
+                continue
+            assert not run(operation).has_duplicates(), operation.label()
+
+    @given(narrow_temporal_relations(max_size=6))
+    def test_eliminating_operations_remove_duplicates(self, relation):
+        child = LiteralRelation(relation)
+        for operation in build_unary_operations(child):
+            if operation.duplicate_behavior is not DuplicateBehavior.ELIMINATES:
+                continue
+            assert not run(operation).has_duplicates(), operation.label()
+
+
+class TestCoalescingBehaviour:
+    @given(narrow_temporal_relations(max_size=6))
+    def test_retaining_operations_preserve_coalescing(self, relation):
+        coalesced = run(Coalescing(LiteralRelation(relation)))
+        child = LiteralRelation(coalesced)
+        for operation in build_unary_operations(child):
+            if operation.coalescing_behavior is not CoalescingBehavior.RETAINS:
+                continue
+            result = run(operation)
+            if not result.schema.is_temporal:
+                continue
+            assert result.is_coalesced(), operation.label()
+
+    @given(narrow_temporal_relations(max_size=6))
+    def test_enforcing_operation_coalesces(self, relation):
+        result = run(Coalescing(LiteralRelation(relation)))
+        assert result.is_coalesced()

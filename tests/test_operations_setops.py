@@ -1,0 +1,204 @@
+"""Tests for union ALL, multiset union, temporal union, and the differences."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.exceptions import SchemaError
+from repro.core.operations import (
+    Difference,
+    LiteralRelation,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalUnion,
+    Union,
+    UnionAll,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.relation import Relation
+from repro.core.schema import RelationSchema, STRING
+
+from .strategies import (
+    NARROW_TEMPORAL_SCHEMA,
+    SNAPSHOT_SCHEMA,
+    narrow_temporal_relations,
+    snapshot_relations,
+)
+
+CONTEXT = EvaluationContext()
+
+
+def run(op):
+    return op.evaluate(CONTEXT)
+
+
+def srel(*rows):
+    return Relation.from_rows(SNAPSHOT_SCHEMA, rows)
+
+
+def trel(*rows):
+    return Relation.from_rows(NARROW_TEMPORAL_SCHEMA, rows)
+
+
+class TestUnionAll:
+    def test_concatenates(self):
+        result = run(UnionAll(LiteralRelation(srel(("a", 1))), LiteralRelation(srel(("b", 2)))))
+        assert [tup["Name"] for tup in result] == ["a", "b"]
+
+    def test_generates_duplicates(self):
+        result = run(UnionAll(LiteralRelation(srel(("a", 1))), LiteralRelation(srel(("a", 1)))))
+        assert result.has_duplicates()
+
+    def test_requires_union_compatibility(self):
+        incompatible = RelationSchema.snapshot([("Other", STRING)])
+        other = Relation.from_rows(incompatible, [("x",)])
+        with pytest.raises(SchemaError):
+            run(UnionAll(LiteralRelation(srel(("a", 1))), LiteralRelation(other)))
+
+    @given(snapshot_relations(), snapshot_relations())
+    def test_cardinality_is_the_sum(self, left, right):
+        result = run(UnionAll(LiteralRelation(left), LiteralRelation(right)))
+        assert result.cardinality == left.cardinality + right.cardinality
+
+
+class TestMultisetUnion:
+    def test_takes_maximum_of_counts(self):
+        left = srel(("a", 1), ("a", 1), ("b", 2))
+        right = srel(("a", 1), ("c", 3))
+        result = run(Union(LiteralRelation(left), LiteralRelation(right)))
+        counts = result.as_multiset()
+        values = {tuple(tup.values()): count for tup, count in counts.items()}
+        assert values == {("a", 1): 2, ("b", 2): 1, ("c", 3): 1}
+
+    def test_retains_duplicate_freedom(self):
+        left = srel(("a", 1), ("b", 2))
+        right = srel(("b", 2), ("c", 3))
+        result = run(Union(LiteralRelation(left), LiteralRelation(right)))
+        assert not result.has_duplicates()
+
+    @given(snapshot_relations(), snapshot_relations())
+    def test_count_is_max_of_argument_counts(self, left, right):
+        result = run(Union(LiteralRelation(left), LiteralRelation(right)))
+        result_counts = result.as_multiset()
+        left_counts, right_counts = left.as_multiset(), right.as_multiset()
+        for tup in set(left_counts) | set(right_counts):
+            assert result_counts[tup] == max(left_counts[tup], right_counts[tup])
+
+    @given(snapshot_relations(), snapshot_relations())
+    def test_table1_cardinality_bounds(self, left, right):
+        result = run(Union(LiteralRelation(left), LiteralRelation(right)))
+        assert result.cardinality >= max(left.cardinality, right.cardinality)
+        assert result.cardinality <= left.cardinality + right.cardinality
+
+
+class TestTemporalUnion:
+    def test_left_tuples_survive_unchanged(self):
+        left = trel(("a", 1, 5))
+        right = trel(("a", 3, 8))
+        result = run(TemporalUnion(LiteralRelation(left), LiteralRelation(right)))
+        periods = [(tup["Name"], tup["T1"], tup["T2"]) for tup in result]
+        assert periods == [("a", 1, 5), ("a", 5, 8)]
+
+    def test_disjoint_values_concatenate(self):
+        left = trel(("a", 1, 3))
+        right = trel(("b", 1, 3))
+        result = run(TemporalUnion(LiteralRelation(left), LiteralRelation(right)))
+        assert result.cardinality == 2
+
+    def test_covered_right_tuple_contributes_nothing(self):
+        left = trel(("a", 1, 10))
+        right = trel(("a", 3, 5))
+        result = run(TemporalUnion(LiteralRelation(left), LiteralRelation(right)))
+        assert result.cardinality == 1
+
+    @given(narrow_temporal_relations(max_size=5), narrow_temporal_relations(max_size=5))
+    def test_snapshot_presence_is_the_union_of_presences(self, left, right):
+        """At every point, a value is present iff it is present in either argument."""
+        result = run(TemporalUnion(LiteralRelation(left), LiteralRelation(right)))
+        points = set()
+        for relation in (left, right):
+            for tup in relation:
+                points.update(tup.period.points())
+        for time in points:
+            expected = left.snapshot(time).as_set() | right.snapshot(time).as_set()
+            assert result.snapshot(time).as_set() == expected
+
+
+class TestDifference:
+    def test_multiset_semantics(self):
+        left = srel(("a", 1), ("a", 1), ("b", 2))
+        right = srel(("a", 1))
+        result = run(Difference(LiteralRelation(left), LiteralRelation(right)))
+        assert [tuple(tup.values()) for tup in result] == [("a", 1), ("b", 2)]
+
+    def test_preserves_left_order(self):
+        left = srel(("c", 3), ("a", 1), ("b", 2))
+        right = srel(("a", 1))
+        result = run(Difference(LiteralRelation(left), LiteralRelation(right)))
+        assert [tup["Name"] for tup in result] == ["c", "b"]
+
+    def test_right_surplus_is_ignored(self):
+        left = srel(("a", 1))
+        right = srel(("a", 1), ("a", 1), ("z", 9))
+        result = run(Difference(LiteralRelation(left), LiteralRelation(right)))
+        assert result.is_empty()
+
+    @given(snapshot_relations(), snapshot_relations())
+    def test_count_arithmetic(self, left, right):
+        result = run(Difference(LiteralRelation(left), LiteralRelation(right)))
+        result_counts = result.as_multiset()
+        left_counts, right_counts = left.as_multiset(), right.as_multiset()
+        for tup in set(left_counts):
+            assert result_counts[tup] == max(0, left_counts[tup] - right_counts[tup])
+        assert max(0, left.cardinality - right.cardinality) <= result.cardinality <= left.cardinality
+
+
+class TestTemporalDifference:
+    def test_figure1_result(self, employee, project, expected_result):
+        """The motivating query, built by hand from the algebra."""
+        from repro.core.operations import Coalescing, Projection, Sort
+        from repro.core.order_spec import OrderSpec
+
+        left = TemporalDuplicateElimination(
+            Projection(["EmpName", "T1", "T2"], LiteralRelation(employee))
+        )
+        right = Projection(["EmpName", "T1", "T2"], LiteralRelation(project))
+        plan = Sort(
+            OrderSpec.ascending("EmpName"),
+            Coalescing(
+                TemporalDuplicateElimination(TemporalDifference(left, right))
+            ),
+        )
+        result = run(plan)
+        assert result.as_list() == expected_result.as_list()
+
+    def test_subtracts_periods_of_value_equivalent_tuples(self):
+        left = trel(("a", 1, 10))
+        right = trel(("a", 3, 5), ("a", 7, 8))
+        result = run(TemporalDifference(LiteralRelation(left), LiteralRelation(right)))
+        assert [(tup["T1"], tup["T2"]) for tup in result] == [(1, 3), (5, 7), (8, 10)]
+
+    def test_other_values_do_not_interfere(self):
+        left = trel(("a", 1, 5))
+        right = trel(("b", 1, 5))
+        result = run(TemporalDifference(LiteralRelation(left), LiteralRelation(right)))
+        assert result.cardinality == 1
+
+    def test_complete_coverage_removes_tuple(self):
+        left = trel(("a", 2, 4))
+        right = trel(("a", 1, 5))
+        result = run(TemporalDifference(LiteralRelation(left), LiteralRelation(right)))
+        assert result.is_empty()
+
+    @given(narrow_temporal_relations(max_size=5), narrow_temporal_relations(max_size=5))
+    def test_snapshot_reducibility_for_duplicate_free_left(self, left, right):
+        """With a snapshot-duplicate-free left argument, snapshots subtract pointwise."""
+        deduplicated = run(TemporalDuplicateElimination(LiteralRelation(left)))
+        result = run(
+            TemporalDifference(LiteralRelation(deduplicated), LiteralRelation(right))
+        )
+        points = set()
+        for tup in deduplicated:
+            points.update(tup.period.points())
+        for time in points:
+            expected = deduplicated.snapshot(time).as_set() - right.snapshot(time).as_set()
+            assert result.snapshot(time).as_set() == expected

@@ -1,0 +1,206 @@
+"""Unit and property tests for closed-open periods and period arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import PeriodError
+from repro.core.period import (
+    Period,
+    coalesce_periods,
+    intersect_all,
+    periods_cover_same_points,
+    span,
+    subtract_periods,
+)
+
+
+def make_period(start, end):
+    return Period(start, end)
+
+
+class TestPeriodConstruction:
+    def test_valid_period(self):
+        period = Period(1, 8)
+        assert period.start == 1
+        assert period.end == 8
+        assert period.duration == 7
+
+    def test_empty_period_rejected(self):
+        with pytest.raises(PeriodError):
+            Period(5, 5)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PeriodError):
+            Period(8, 1)
+
+    def test_periods_are_ordered_lexicographically(self):
+        assert Period(1, 3) < Period(1, 4) < Period(2, 3)
+
+    def test_str(self):
+        assert str(Period(2, 6)) == "[2, 6)"
+
+
+class TestPointMembership:
+    def test_contains_start(self):
+        assert Period(1, 8).contains_point(1)
+
+    def test_excludes_end(self):
+        assert not Period(1, 8).contains_point(8)
+
+    def test_contains_interior(self):
+        assert Period(1, 8).contains_point(5)
+
+    def test_points_enumerates_granules(self):
+        assert list(Period(3, 6).points()) == [3, 4, 5]
+
+    def test_contains_period(self):
+        assert Period(1, 10).contains(Period(3, 5))
+        assert not Period(3, 5).contains(Period(1, 10))
+        assert Period(3, 5).contains(Period(3, 5))
+
+
+class TestRelationships:
+    def test_overlap(self):
+        assert Period(1, 8).overlaps(Period(6, 11))
+        assert Period(6, 11).overlaps(Period(1, 8))
+
+    def test_adjacent_periods_do_not_overlap(self):
+        assert not Period(1, 6).overlaps(Period(6, 12))
+
+    def test_adjacency(self):
+        assert Period(2, 6).is_adjacent_to(Period(6, 12))
+        assert Period(6, 12).is_adjacent_to(Period(2, 6))
+        assert not Period(2, 6).is_adjacent_to(Period(7, 12))
+        assert not Period(2, 6).is_adjacent_to(Period(5, 12))
+
+    def test_overlaps_or_adjacent(self):
+        assert Period(1, 3).overlaps_or_adjacent(Period(3, 5))
+        assert Period(1, 4).overlaps_or_adjacent(Period(3, 5))
+        assert not Period(1, 3).overlaps_or_adjacent(Period(4, 5))
+
+    def test_precedes(self):
+        assert Period(1, 3).precedes(Period(3, 5))
+        assert not Period(1, 4).precedes(Period(3, 5))
+
+
+class TestConstructiveOperations:
+    def test_intersection(self):
+        assert Period(1, 8).intersect(Period(6, 11)) == Period(6, 8)
+
+    def test_disjoint_intersection_is_none(self):
+        assert Period(1, 3).intersect(Period(5, 8)) is None
+        assert Period(1, 3).intersect(Period(3, 8)) is None
+
+    def test_merge_adjacent(self):
+        assert Period(2, 6).merge(Period(6, 12)) == Period(2, 12)
+
+    def test_merge_overlapping(self):
+        assert Period(1, 8).merge(Period(6, 11)) == Period(1, 11)
+
+    def test_merge_disjoint_rejected(self):
+        with pytest.raises(PeriodError):
+            Period(1, 3).merge(Period(5, 8))
+
+    def test_subtract_disjoint(self):
+        assert Period(1, 3).subtract(Period(5, 8)) == [Period(1, 3)]
+
+    def test_subtract_covering(self):
+        assert Period(3, 5).subtract(Period(1, 8)) == []
+
+    def test_subtract_prefix(self):
+        # The Figure 3 case: [6, 11) minus [1, 8) leaves [8, 11).
+        assert Period(6, 11).subtract(Period(1, 8)) == [Period(8, 11)]
+
+    def test_subtract_suffix(self):
+        assert Period(1, 8).subtract(Period(6, 11)) == [Period(1, 6)]
+
+    def test_subtract_interior_splits(self):
+        assert Period(1, 10).subtract(Period(4, 6)) == [Period(1, 4), Period(6, 10)]
+
+
+class TestCollections:
+    def test_coalesce_merges_adjacent_and_overlapping(self):
+        merged = coalesce_periods([Period(6, 12), Period(1, 4), Period(4, 7)])
+        assert merged == [Period(1, 12)]
+
+    def test_coalesce_keeps_gaps(self):
+        merged = coalesce_periods([Period(1, 3), Period(5, 7)])
+        assert merged == [Period(1, 3), Period(5, 7)]
+
+    def test_coalesce_empty(self):
+        assert coalesce_periods([]) == []
+
+    def test_subtract_periods_multiple(self):
+        remaining = subtract_periods(Period(1, 12), [Period(2, 3), Period(5, 6), Period(9, 10)])
+        assert remaining == [Period(1, 2), Period(3, 5), Period(6, 9), Period(10, 12)]
+
+    def test_subtract_periods_complete_cover(self):
+        assert subtract_periods(Period(1, 5), [Period(1, 3), Period(3, 5)]) == []
+
+    def test_intersect_all(self):
+        assert intersect_all([Period(1, 8), Period(3, 10), Period(2, 6)]) == Period(3, 6)
+        assert intersect_all([Period(1, 3), Period(5, 8)]) is None
+        assert intersect_all([]) is None
+
+    def test_span(self):
+        assert span([Period(3, 5), Period(1, 2), Period(8, 9)]) == Period(1, 9)
+        assert span([]) is None
+
+    def test_cover_same_points(self):
+        assert periods_cover_same_points([Period(1, 3), Period(3, 5)], [Period(1, 5)])
+        assert not periods_cover_same_points([Period(1, 3)], [Period(1, 4)])
+
+
+@st.composite
+def small_periods(draw):
+    start = draw(st.integers(min_value=0, max_value=20))
+    length = draw(st.integers(min_value=1, max_value=10))
+    return Period(start, start + length)
+
+
+class TestPeriodProperties:
+    @given(small_periods(), small_periods())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(small_periods(), small_periods())
+    def test_overlap_iff_common_point(self, a, b):
+        common = set(a.points()) & set(b.points())
+        assert a.overlaps(b) == bool(common)
+
+    @given(small_periods(), small_periods())
+    def test_subtraction_covers_exactly_the_remaining_points(self, a, b):
+        remaining = a.subtract(b)
+        expected = set(a.points()) - set(b.points())
+        actual = set()
+        for piece in remaining:
+            actual |= set(piece.points())
+        assert actual == expected
+
+    @given(small_periods(), small_periods())
+    def test_intersection_covers_common_points(self, a, b):
+        intersection = a.intersect(b)
+        common = set(a.points()) & set(b.points())
+        if intersection is None:
+            assert not common
+        else:
+            assert set(intersection.points()) == common
+
+    @given(st.lists(small_periods(), max_size=8))
+    def test_coalesce_preserves_points_and_is_canonical(self, periods):
+        merged = coalesce_periods(periods)
+        original_points = set()
+        for period in periods:
+            original_points |= set(period.points())
+        merged_points = set()
+        for period in merged:
+            merged_points |= set(period.points())
+        assert merged_points == original_points
+        # Canonical form: sorted, pairwise disjoint and non-adjacent.
+        for earlier, later in zip(merged, merged[1:]):
+            assert earlier.end < later.start
+
+    @given(st.lists(small_periods(), max_size=8))
+    def test_coalesce_is_idempotent(self, periods):
+        merged = coalesce_periods(periods)
+        assert coalesce_periods(merged) == merged

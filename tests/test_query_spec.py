@@ -1,0 +1,43 @@
+"""Tests for the query result specification (Definition 5.1 inputs)."""
+
+from repro.core.equivalence import EquivalenceType
+from repro.core.order_spec import OrderSpec
+from repro.core.query import QueryResultSpec, ResultKind
+
+
+class TestResultKind:
+    def test_plain_query_is_a_multiset(self):
+        assert QueryResultSpec.multiset().kind is ResultKind.MULTISET
+
+    def test_distinct_query_is_a_set(self):
+        assert QueryResultSpec.set().kind is ResultKind.SET
+
+    def test_order_by_query_is_a_list(self):
+        spec = QueryResultSpec.list(OrderSpec.ascending("A"))
+        assert spec.kind is ResultKind.LIST
+
+    def test_order_by_wins_over_distinct(self):
+        spec = QueryResultSpec.list(OrderSpec.ascending("A"), distinct=True)
+        assert spec.kind is ResultKind.LIST
+
+
+class TestRequiredEquivalence:
+    def test_multiset(self):
+        assert QueryResultSpec.multiset().required_equivalence is EquivalenceType.MULTISET
+
+    def test_set(self):
+        assert QueryResultSpec.set().required_equivalence is EquivalenceType.SET
+
+    def test_list(self):
+        spec = QueryResultSpec.list(OrderSpec.ascending("A"))
+        assert spec.required_equivalence is EquivalenceType.LIST
+
+
+class TestPresentation:
+    def test_str_mentions_clauses(self):
+        spec = QueryResultSpec(distinct=True, order_by=OrderSpec.ascending("A"), coalesced=True)
+        rendered = str(spec)
+        assert "DISTINCT" in rendered and "ORDER BY" in rendered and "COALESCED" in rendered
+
+    def test_str_for_plain_query(self):
+        assert "multiset" in str(QueryResultSpec.multiset())

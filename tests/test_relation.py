@@ -1,0 +1,173 @@
+"""Unit tests for list-based relations (Definition 2.2) and their analyses."""
+
+import pytest
+
+from repro.core.exceptions import SchemaError, TemporalSchemaError
+from repro.core.order_spec import OrderSpec
+from repro.core.period import Period
+from repro.core.relation import Relation
+from repro.core.schema import INTEGER, RelationSchema, STRING
+from repro.workloads import EMPLOYEE_NAME_SCHEMA, employee_relation, figure3_r1
+
+SNAPSHOT = RelationSchema.snapshot([("Name", STRING), ("Amount", INTEGER)])
+
+
+class TestConstruction:
+    def test_from_rows(self, employee):
+        assert employee.cardinality == 5
+        assert employee[0]["EmpName"] == "John"
+
+    def test_from_dicts(self):
+        relation = Relation.from_dicts(SNAPSHOT, [{"Name": "a", "Amount": 1}])
+        assert len(relation) == 1
+
+    def test_empty(self):
+        relation = Relation.empty(SNAPSHOT)
+        assert relation.is_empty()
+        assert relation.cardinality == 0
+
+    def test_mismatched_tuple_schema_rejected(self, employee):
+        other = Relation.from_rows(SNAPSHOT, [("a", 1)])
+        with pytest.raises(SchemaError):
+            Relation(employee.schema, list(other.tuples))
+
+    def test_relations_are_lists_order_matters(self):
+        a = Relation.from_rows(SNAPSHOT, [("a", 1), ("b", 2)])
+        b = Relation.from_rows(SNAPSHOT, [("b", 2), ("a", 1)])
+        assert a != b
+
+    def test_relations_allow_duplicates(self):
+        relation = Relation.from_rows(SNAPSHOT, [("a", 1), ("a", 1)])
+        assert relation.cardinality == 2
+        assert relation.has_duplicates()
+
+
+class TestViews:
+    def test_multiset_view_counts_duplicates(self, r1):
+        counts = r1.as_multiset()
+        assert max(counts.values()) == 2
+
+    def test_set_view_drops_duplicates(self, r1):
+        assert len(r1.as_set()) == 4
+
+    def test_list_view_preserves_order(self, employee):
+        names = [tup["EmpName"] for tup in employee.as_list()]
+        assert names == ["John", "John", "Anna", "Anna", "Anna"]
+
+
+class TestDuplicateAnalyses:
+    def test_regular_duplicates_detected(self, r1):
+        assert r1.has_duplicates()
+
+    def test_no_regular_duplicates(self, employee):
+        assert not employee.has_duplicates()
+
+    def test_snapshot_duplicates_detected(self, r1):
+        # R1 has temporal duplicates: John's two periods overlap at months 6-7.
+        assert r1.has_snapshot_duplicates()
+
+    def test_no_snapshot_duplicates(self, r3):
+        assert not r3.has_snapshot_duplicates()
+
+    def test_snapshot_duplicates_on_snapshot_relation_falls_back(self):
+        relation = Relation.from_rows(SNAPSHOT, [("a", 1), ("a", 1)])
+        assert relation.has_snapshot_duplicates()
+
+
+class TestCoalescingAnalyses:
+    def test_projected_employee_is_not_coalesced(self, r1):
+        # Anna's [2,6) and [6,12) periods are adjacent.
+        assert not r1.is_coalesced()
+
+    def test_coalesced_relation(self, expected_result):
+        assert expected_result.is_coalesced()
+
+    def test_coalescing_undefined_for_snapshot_relations(self):
+        relation = Relation.from_rows(SNAPSHOT, [("a", 1)])
+        with pytest.raises(TemporalSchemaError):
+            relation.is_coalesced()
+
+    def test_value_groups(self, r1):
+        groups = r1.value_groups()
+        assert groups[("John",)] == [Period(1, 8), Period(6, 11)]
+        assert groups[("Anna",)] == [Period(2, 6), Period(2, 6), Period(6, 12)]
+
+
+class TestSnapshots:
+    def test_snapshot_contents(self, employee):
+        snap = employee.snapshot(6)
+        values = [(tup["EmpName"], tup["Dept"]) for tup in snap]
+        assert values == [("John", "Sales"), ("John", "Advertising"), ("Anna", "Sales")]
+
+    def test_snapshot_drops_time_attributes(self, employee):
+        snap = employee.snapshot(6)
+        assert not snap.schema.is_temporal
+        assert snap.schema.attributes == ("EmpName", "Dept")
+
+    def test_snapshot_of_snapshot_relation_rejected(self):
+        relation = Relation.from_rows(SNAPSHOT, [("a", 1)])
+        with pytest.raises(TemporalSchemaError):
+            relation.snapshot(1)
+
+    def test_snapshot_with_duplicates(self, r1):
+        snap = r1.snapshot(6)
+        names = [tup["Name"] if tup.schema.has_attribute("Name") else tup["EmpName"] for tup in snap]
+        assert names.count("John") == 2
+
+    def test_active_time_points(self):
+        relation = Relation.from_rows(EMPLOYEE_NAME_SCHEMA, [("a", 1, 3), ("a", 5, 6)])
+        assert relation.active_time_points() == [1, 2, 5]
+
+    def test_interesting_time_points_bound_snapshot_changes(self, employee):
+        points = employee.interesting_time_points()
+        assert 1 in points and 12 in points
+        # Snapshots can only change at interesting points: probing between two
+        # consecutive interesting points yields identical snapshots.
+        for earlier, later in zip(points, points[1:]):
+            middle = earlier + (later - earlier) // 2
+            if middle in (earlier, later):
+                continue
+            assert employee.snapshot(middle).as_multiset() == employee.snapshot(earlier).as_multiset()
+
+    def test_time_span(self, employee):
+        assert employee.time_span() == Period(1, 12)
+
+    def test_time_span_empty(self):
+        assert Relation.empty(EMPLOYEE_NAME_SCHEMA).time_span() is None
+
+
+class TestDerivation:
+    def test_sorted_by(self, employee):
+        ordered = employee.sorted_by(OrderSpec.ascending("EmpName", "T1"))
+        names = [tup["EmpName"] for tup in ordered]
+        assert names == ["Anna", "Anna", "Anna", "John", "John"]
+        assert ordered.order == OrderSpec.ascending("EmpName", "T1")
+
+    def test_sort_is_stable(self):
+        relation = Relation.from_rows(SNAPSHOT, [("a", 3), ("a", 1), ("a", 2)])
+        ordered = relation.sorted_by(OrderSpec.ascending("Name"))
+        assert [tup["Amount"] for tup in ordered] == [3, 1, 2]
+
+    def test_concat(self):
+        a = Relation.from_rows(SNAPSHOT, [("a", 1)])
+        b = Relation.from_rows(SNAPSHOT, [("b", 2)])
+        combined = a.concat(b)
+        assert [tup["Name"] for tup in combined] == ["a", "b"]
+
+    def test_concat_requires_union_compatibility(self, employee):
+        other = Relation.from_rows(SNAPSHOT, [("a", 1)])
+        with pytest.raises(SchemaError):
+            employee.concat(other)
+
+    def test_with_order_is_metadata_only(self, employee):
+        annotated = employee.with_order(OrderSpec.ascending("EmpName"))
+        assert list(annotated.tuples) == list(employee.tuples)
+        assert annotated.order == OrderSpec.ascending("EmpName")
+
+    def test_to_table_renders_all_columns(self, employee):
+        table = employee.to_table()
+        assert "EmpName" in table and "Advertising" in table
+
+    def test_to_table_truncation(self, employee):
+        table = employee.to_table(max_rows=2)
+        assert "more rows" in table

@@ -1,0 +1,251 @@
+"""Unit tests for the conventional rules of Section 4.1 (selection/projection/commutativity)."""
+
+from repro.core.equivalence import (
+    list_equivalent,
+    multiset_equivalent,
+    snapshot_multiset_equivalent,
+)
+from repro.core.expressions import count, equals, greater_than
+from repro.core.operations import (
+    Aggregation,
+    CartesianProduct,
+    Difference,
+    DuplicateElimination,
+    LiteralRelation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalAggregation,
+    TemporalCartesianProduct,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalUnion,
+    Union,
+    UnionAll,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.order_spec import OrderSpec
+from repro.core.relation import Relation
+from repro.core.rules import rules_by_name
+from repro.core.schema import INTEGER, RelationSchema, STRING
+
+from .strategies import NARROW_TEMPORAL_SCHEMA, SNAPSHOT_SCHEMA
+
+CONTEXT = EvaluationContext()
+RULES = rules_by_name()
+
+
+def run(op):
+    return op.evaluate(CONTEXT)
+
+
+def trel(*rows):
+    return Relation.from_rows(NARROW_TEMPORAL_SCHEMA, rows)
+
+
+def srel(*rows):
+    return Relation.from_rows(SNAPSHOT_SCHEMA, rows)
+
+
+SAMPLE = srel(("a", 1), ("b", 2), ("a", 3), ("c", 1))
+TSAMPLE = trel(("a", 1, 5), ("b", 2, 4), ("a", 3, 8), ("a", 3, 8))
+
+
+def check(rule_name, plan, equivalence=list_equivalent):
+    application = RULES[rule_name].apply(plan)
+    assert application is not None, rule_name
+    assert equivalence(run(plan), run(application.replacement)), rule_name
+    return application.replacement
+
+
+class TestSelectionRules:
+    def test_commute_selections(self):
+        plan = Selection(equals("Name", "a"), Selection(greater_than("Amount", 1), LiteralRelation(SAMPLE)))
+        rewritten = check("σ-commute", plan)
+        assert isinstance(rewritten, Selection)
+        assert rewritten.predicate == greater_than("Amount", 1)
+
+    def test_push_below_projection(self):
+        plan = Selection(equals("Name", "a"), Projection(["Name"], LiteralRelation(SAMPLE)))
+        check("σ-below-π", plan)
+
+    def test_push_below_projection_blocked_for_computed_columns(self):
+        plan = Selection(equals("Name", "a"), Projection(["Amount"], LiteralRelation(SAMPLE)))
+        assert RULES["σ-below-π"].apply(plan) is None
+
+    def test_push_below_sort(self):
+        plan = Selection(
+            equals("Name", "a"), Sort(OrderSpec.ascending("Amount"), LiteralRelation(SAMPLE))
+        )
+        check("σ-below-sort", plan)
+
+    def test_push_below_rdup(self):
+        plan = Selection(equals("Name", "a"), DuplicateElimination(LiteralRelation(SAMPLE)))
+        check("σ-below-rdup", plan)
+
+    def test_push_below_rdupt(self):
+        plan = Selection(
+            equals("Name", "a"), TemporalDuplicateElimination(LiteralRelation(TSAMPLE))
+        )
+        check("σ-below-rdupT", plan)
+
+    def test_push_below_rdupt_blocked_for_temporal_predicates(self):
+        plan = Selection(
+            greater_than("T1", 2), TemporalDuplicateElimination(LiteralRelation(TSAMPLE))
+        )
+        assert RULES["σ-below-rdupT"].apply(plan) is None
+
+    def test_push_into_product_left(self):
+        other = Relation.from_rows(RelationSchema.snapshot([("Dept", STRING)]), [("Sales",)])
+        plan = Selection(
+            equals("Name", "a"),
+            CartesianProduct(LiteralRelation(SAMPLE), LiteralRelation(other)),
+        )
+        rewritten = check("σ-into-×-left", plan)
+        assert isinstance(rewritten, CartesianProduct)
+        assert isinstance(rewritten.left, Selection)
+
+    def test_push_into_product_right(self):
+        other = Relation.from_rows(RelationSchema.snapshot([("Dept", STRING)]), [("Sales",), ("Ads",)])
+        plan = Selection(
+            equals("Dept", "Sales"),
+            CartesianProduct(LiteralRelation(SAMPLE), LiteralRelation(other)),
+        )
+        rewritten = check("σ-into-×-right", plan)
+        assert isinstance(rewritten.right, Selection)
+
+    def test_push_into_product_blocked_for_renamed_attributes(self):
+        plan = Selection(
+            equals("Name", "a"),
+            CartesianProduct(LiteralRelation(SAMPLE), LiteralRelation(SAMPLE)),
+        )
+        # "Name" exists on both sides, so the product renames it; no push-down.
+        assert RULES["σ-into-×-left"].apply(plan) is None
+
+    def test_push_into_temporal_product_left(self):
+        dept = Relation.from_rows(
+            RelationSchema.temporal([("Dept", STRING)], name="D"), [("Sales", 2, 6)]
+        )
+        plan = Selection(
+            equals("Name", "a"),
+            TemporalCartesianProduct(LiteralRelation(TSAMPLE), LiteralRelation(dept)),
+        )
+        check("σ-into-×T-left", plan)
+
+    def test_push_into_temporal_product_blocked_for_time_predicates(self):
+        dept = Relation.from_rows(
+            RelationSchema.temporal([("Dept", STRING)], name="D"), [("Sales", 2, 6)]
+        )
+        plan = Selection(
+            greater_than("T1", 3),
+            TemporalCartesianProduct(LiteralRelation(TSAMPLE), LiteralRelation(dept)),
+        )
+        assert RULES["σ-into-×T-left"].apply(plan) is None
+
+    def test_push_below_union_all(self):
+        plan = Selection(
+            equals("Name", "a"), UnionAll(LiteralRelation(SAMPLE), LiteralRelation(SAMPLE))
+        )
+        check("σ-below-⊔", plan)
+
+    def test_push_below_union(self):
+        plan = Selection(
+            equals("Name", "a"), Union(LiteralRelation(SAMPLE), LiteralRelation(srel(("a", 1))))
+        )
+        check("σ-below-∪", plan, multiset_equivalent)
+
+    def test_push_below_temporal_union(self):
+        plan = Selection(
+            equals("Name", "a"),
+            TemporalUnion(LiteralRelation(TSAMPLE), LiteralRelation(trel(("a", 2, 9)))),
+        )
+        check("σ-below-∪T", plan, multiset_equivalent)
+
+    def test_push_into_difference_left(self):
+        plan = Selection(
+            equals("Name", "a"),
+            Difference(LiteralRelation(SAMPLE), LiteralRelation(srel(("a", 1)))),
+        )
+        check("σ-into-\\-left", plan)
+
+    def test_push_into_temporal_difference_left(self):
+        plan = Selection(
+            equals("Name", "a"),
+            TemporalDifference(LiteralRelation(TSAMPLE), LiteralRelation(trel(("a", 2, 6)))),
+        )
+        check("σ-into-\\T-left", plan)
+
+    def test_push_below_aggregation(self):
+        plan = Selection(
+            equals("Name", "a"),
+            Aggregation(["Name"], [count(alias="n")], LiteralRelation(SAMPLE)),
+        )
+        check("σ-below-γ", plan)
+
+    def test_push_below_aggregation_blocked_for_aggregate_outputs(self):
+        plan = Selection(
+            greater_than("n", 1),
+            Aggregation(["Name"], [count(alias="n")], LiteralRelation(SAMPLE)),
+        )
+        assert RULES["σ-below-γ"].apply(plan) is None
+
+    def test_push_below_temporal_aggregation(self):
+        plan = Selection(
+            equals("Name", "a"),
+            TemporalAggregation(["Name"], [count(alias="n")], LiteralRelation(TSAMPLE)),
+        )
+        check("σ-below-γT", plan, snapshot_multiset_equivalent)
+
+
+class TestProjectionRules:
+    def test_merge_projections(self):
+        plan = Projection(["Name"], Projection(["Name", "Amount"], LiteralRelation(SAMPLE)))
+        rewritten = check("π-cascade", plan)
+        assert isinstance(rewritten, Projection)
+        assert isinstance(rewritten.child, LiteralRelation)
+
+    def test_merge_blocked_when_inner_computes(self):
+        from repro.core.expressions import Arithmetic, ArithmeticOperator, ProjectionItem, attribute
+
+        inner_item = ProjectionItem(
+            Arithmetic(ArithmeticOperator.ADD, attribute("Amount"), attribute("Amount")),
+            alias="Name",
+        )
+        plan = Projection(["Name"], Projection([inner_item], LiteralRelation(SAMPLE)))
+        assert RULES["π-cascade"].apply(plan) is None
+
+    def test_push_projection_below_union_all(self):
+        plan = Projection(["Name"], UnionAll(LiteralRelation(SAMPLE), LiteralRelation(SAMPLE)))
+        check("π-below-⊔", plan)
+
+
+class TestCommutativityAndAssociativity:
+    def test_commute_product(self):
+        other = Relation.from_rows(RelationSchema.snapshot([("Dept", STRING)]), [("Sales",)])
+        plan = CartesianProduct(LiteralRelation(SAMPLE), LiteralRelation(other))
+        check("×-commute", plan, multiset_equivalent)
+
+    def test_commute_product_blocked_on_clash(self):
+        plan = CartesianProduct(LiteralRelation(SAMPLE), LiteralRelation(SAMPLE))
+        assert RULES["×-commute"].apply(plan) is None
+
+    def test_commute_union_all(self):
+        plan = UnionAll(LiteralRelation(SAMPLE), LiteralRelation(srel(("z", 9))))
+        check("⊔-commute", plan, multiset_equivalent)
+
+    def test_commute_union(self):
+        plan = Union(LiteralRelation(SAMPLE), LiteralRelation(srel(("a", 1))))
+        check("∪-commute", plan, multiset_equivalent)
+
+    def test_commute_temporal_union(self):
+        from repro.core.equivalence import snapshot_set_equivalent
+
+        plan = TemporalUnion(LiteralRelation(TSAMPLE), LiteralRelation(trel(("a", 2, 9))))
+        check("∪T-commute", plan, snapshot_set_equivalent)
+
+    def test_associate_union_all(self):
+        plan = UnionAll(
+            UnionAll(LiteralRelation(SAMPLE), LiteralRelation(srel(("z", 9)))),
+            LiteralRelation(srel(("y", 8))),
+        )
+        check("⊔-assoc", plan, list_equivalent)

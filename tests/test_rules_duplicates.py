@@ -1,0 +1,149 @@
+"""Unit tests for the duplicate-elimination rules D1–D6 (Figure 4)."""
+
+from repro.core.equivalence import (
+    list_equivalent,
+    set_equivalent,
+    snapshot_set_equivalent,
+)
+from repro.core.operations import (
+    DuplicateElimination,
+    LiteralRelation,
+    TemporalDuplicateElimination,
+    TemporalUnion,
+    Union,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.relation import Relation
+from repro.core.rules import rules_by_name
+from repro.workloads import figure3_r1, figure3_r3
+
+from .strategies import SNAPSHOT_SCHEMA
+
+CONTEXT = EvaluationContext()
+RULES = rules_by_name()
+
+
+def run(op):
+    return op.evaluate(CONTEXT)
+
+
+def snapshot(*rows):
+    return Relation.from_rows(SNAPSHOT_SCHEMA, rows)
+
+
+class TestD1:
+    def test_removes_redundant_rdup(self):
+        duplicate_free = LiteralRelation(snapshot(("a", 1), ("b", 2)))
+        plan = DuplicateElimination(duplicate_free)
+        application = RULES["D1"].apply(plan)
+        assert application is not None
+        assert application.replacement == duplicate_free
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_requires_duplicate_freedom(self):
+        plan = DuplicateElimination(LiteralRelation(snapshot(("a", 1), ("a", 1))))
+        assert RULES["D1"].apply(plan) is None
+
+    def test_does_not_match_temporal_arguments(self, r3):
+        plan = DuplicateElimination(LiteralRelation(r3))
+        assert RULES["D1"].apply(plan) is None
+
+    def test_does_not_match_other_operations(self, r3):
+        assert RULES["D1"].apply(LiteralRelation(r3)) is None
+
+
+class TestD2:
+    def test_removes_redundant_rdupt(self, r3):
+        plan = TemporalDuplicateElimination(LiteralRelation(r3))
+        application = RULES["D2"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_requires_snapshot_duplicate_freedom(self, r1):
+        plan = TemporalDuplicateElimination(LiteralRelation(r1))
+        assert RULES["D2"].apply(plan) is None
+
+    def test_matches_above_another_rdupt(self, r1):
+        plan = TemporalDuplicateElimination(TemporalDuplicateElimination(LiteralRelation(r1)))
+        application = RULES["D2"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+
+class TestD3:
+    def test_drops_rdup_for_set_results(self):
+        relation = snapshot(("a", 1), ("a", 1), ("b", 2))
+        plan = DuplicateElimination(LiteralRelation(relation))
+        application = RULES["D3"].apply(plan)
+        assert application is not None
+        assert set_equivalent(run(plan), run(application.replacement))
+        # But not multiset equivalent: the rule really is only ≡S.
+        assert run(plan).as_multiset() != run(application.replacement).as_multiset()
+
+
+class TestD4:
+    def test_drops_rdupt_for_snapshot_set_results(self, r1):
+        plan = TemporalDuplicateElimination(LiteralRelation(r1))
+        application = RULES["D4"].apply(plan)
+        assert application is not None
+        assert snapshot_set_equivalent(run(plan), run(application.replacement))
+
+
+class TestD5:
+    def test_pushes_rdup_below_union(self):
+        left = snapshot(("a", 1), ("a", 1))
+        right = snapshot(("a", 1), ("b", 2))
+        plan = DuplicateElimination(Union(LiteralRelation(left), LiteralRelation(right)))
+        application = RULES["D5"].apply(plan)
+        assert application is not None
+        rewritten = application.replacement
+        assert isinstance(rewritten, Union)
+        assert isinstance(rewritten.left, DuplicateElimination)
+        assert list_equivalent(run(plan), run(rewritten))
+
+    def test_does_not_match_union_all(self):
+        from repro.core.operations import UnionAll
+
+        plan = DuplicateElimination(
+            UnionAll(LiteralRelation(snapshot(("a", 1))), LiteralRelation(snapshot(("a", 1))))
+        )
+        assert RULES["D5"].apply(plan) is None
+
+
+class TestD6:
+    def test_pushes_rdupt_below_temporal_union(self, r1, r3):
+        plan = TemporalDuplicateElimination(
+            TemporalUnion(LiteralRelation(r1), LiteralRelation(r3))
+        )
+        application = RULES["D6"].apply(plan)
+        assert application is not None
+        rewritten = application.replacement
+        assert isinstance(rewritten, TemporalUnion)
+        assert list_equivalent(run(plan), run(rewritten))
+
+
+class TestIdempotenceRules:
+    def test_collapse_rdup(self):
+        relation = snapshot(("a", 1), ("a", 1))
+        plan = DuplicateElimination(DuplicateElimination(LiteralRelation(relation)))
+        application = RULES["D-idem"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_collapse_rdupt(self, r1):
+        plan = TemporalDuplicateElimination(TemporalDuplicateElimination(LiteralRelation(r1)))
+        application = RULES["DT-idem"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+
+class TestApplicationMetadata:
+    def test_involved_paths_include_location_and_children(self, r3):
+        plan = TemporalDuplicateElimination(LiteralRelation(r3))
+        application = RULES["D2"].apply(plan)
+        assert () in application.involved
+        assert (0,) in application.involved
+
+    def test_rule_catalogue_names(self):
+        for name in ("D1", "D2", "D3", "D4", "D5", "D6"):
+            assert name in RULES

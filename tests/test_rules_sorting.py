@@ -1,0 +1,149 @@
+"""Unit tests for the sorting rules S1–S3 and the sort push-down rules."""
+
+from repro.core.equivalence import list_equivalent, multiset_equivalent
+from repro.core.expressions import equals
+from repro.core.operations import (
+    Coalescing,
+    Difference,
+    DuplicateElimination,
+    LiteralRelation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalDifference,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.order_spec import OrderSpec
+from repro.core.relation import Relation
+from repro.core.rules import rules_by_name
+
+from .strategies import NARROW_TEMPORAL_SCHEMA, SNAPSHOT_SCHEMA
+
+CONTEXT = EvaluationContext()
+RULES = rules_by_name()
+
+
+def run(op):
+    return op.evaluate(CONTEXT)
+
+
+def trel(*rows):
+    return Relation.from_rows(NARROW_TEMPORAL_SCHEMA, rows)
+
+
+def srel(*rows):
+    return Relation.from_rows(SNAPSHOT_SCHEMA, rows)
+
+
+class TestS1:
+    def test_removes_satisfied_sort(self):
+        relation = trel(("b", 5, 6), ("a", 1, 2)).sorted_by(OrderSpec.ascending("Name", "T1"))
+        plan = Sort(OrderSpec.ascending("Name"), LiteralRelation(relation))
+        application = RULES["S1"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_requires_the_prefix_relationship(self):
+        relation = trel(("b", 5, 6), ("a", 1, 2)).sorted_by(OrderSpec.ascending("T1"))
+        plan = Sort(OrderSpec.ascending("Name"), LiteralRelation(relation))
+        assert RULES["S1"].apply(plan) is None
+
+    def test_removes_sort_above_identical_sort(self):
+        plan = Sort(
+            OrderSpec.ascending("Name"),
+            Sort(OrderSpec.ascending("Name", "T1"), LiteralRelation(trel(("b", 5, 6), ("a", 1, 2)))),
+        )
+        application = RULES["S1"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+
+class TestS2:
+    def test_drops_any_sort_as_multiset(self):
+        plan = Sort(OrderSpec.ascending("Name"), LiteralRelation(trel(("b", 5, 6), ("a", 1, 2))))
+        application = RULES["S2"].apply(plan)
+        assert application is not None
+        assert multiset_equivalent(run(plan), run(application.replacement))
+        assert not list_equivalent(run(plan), run(application.replacement))
+
+
+class TestS3:
+    def test_collapses_sorts_when_inner_is_prefix_of_outer(self):
+        inner = Sort(OrderSpec.ascending("Name"), LiteralRelation(trel(("b", 5, 6), ("a", 1, 2), ("a", 3, 4))))
+        plan = Sort(OrderSpec.ascending("Name", "T1"), inner)
+        application = RULES["S3"].apply(plan)
+        assert application is not None
+        assert isinstance(application.replacement, Sort)
+        assert application.replacement.child == inner.child
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_requires_prefix_relationship(self):
+        inner = Sort(OrderSpec.ascending("T1"), LiteralRelation(trel(("b", 5, 6))))
+        plan = Sort(OrderSpec.ascending("Name"), inner)
+        assert RULES["S3"].apply(plan) is None
+
+
+class TestSortPushDown:
+    def test_below_selection(self):
+        plan = Sort(
+            OrderSpec.ascending("Name"),
+            Selection(equals("Name", "a"), LiteralRelation(trel(("b", 1, 2), ("a", 3, 4)))),
+        )
+        application = RULES["S-push-σ"].apply(plan)
+        assert application is not None
+        assert isinstance(application.replacement, Selection)
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_below_projection(self):
+        relation = trel(("b", 1, 2), ("a", 3, 4))
+        plan = Sort(
+            OrderSpec.ascending("Name"),
+            Projection(["Name", "T1", "T2"], LiteralRelation(relation)),
+        )
+        application = RULES["S-push-π"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_below_projection_requires_preserved_attributes(self):
+        relation = trel(("b", 1, 2), ("a", 3, 4))
+        plan = Sort(OrderSpec.ascending("T1"), Projection(["Name"], LiteralRelation(relation)))
+        assert RULES["S-push-π"].apply(plan) is None
+
+    def test_below_duplicate_elimination(self):
+        relation = srel(("b", 1), ("a", 2), ("b", 1))
+        plan = Sort(OrderSpec.ascending("Name"), DuplicateElimination(LiteralRelation(relation)))
+        application = RULES["S-push-rdup"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_below_coalescing(self):
+        relation = trel(("b", 1, 3), ("a", 4, 5), ("b", 3, 5))
+        plan = Sort(OrderSpec.ascending("Name"), Coalescing(LiteralRelation(relation)))
+        application = RULES["S-push-coal"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_below_coalescing_blocked_for_time_keys(self):
+        relation = trel(("b", 1, 3), ("a", 4, 5))
+        plan = Sort(OrderSpec.ascending("T1"), Coalescing(LiteralRelation(relation)))
+        assert RULES["S-push-coal"].apply(plan) is None
+
+    def test_below_difference(self):
+        left = srel(("b", 1), ("a", 2), ("c", 3))
+        right = srel(("a", 2))
+        plan = Sort(
+            OrderSpec.ascending("Name"),
+            Difference(LiteralRelation(left), LiteralRelation(right)),
+        )
+        application = RULES["S-push-diff"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_below_temporal_difference(self, r3, r1):
+        plan = Sort(
+            OrderSpec.ascending("EmpName"),
+            TemporalDifference(LiteralRelation(r3), LiteralRelation(r1)),
+        )
+        application = RULES["S-push-diffT"].apply(plan)
+        assert application is not None
+        assert list_equivalent(run(plan), run(application.replacement))

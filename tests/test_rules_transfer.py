@@ -1,0 +1,115 @@
+"""Unit tests for the transfer rules of the stratum architecture (Section 4.5)."""
+
+from repro.core.equivalence import EquivalenceType, list_equivalent, multiset_equivalent
+from repro.core.expressions import equals
+from repro.core.operations import (
+    Coalescing,
+    LiteralRelation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalDifference,
+    TransferToDBMS,
+    TransferToStratum,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.order_spec import OrderSpec
+from repro.core.rules import CONVENTIONAL_OPERATIONS, rules_by_name
+from repro.workloads import figure3_r1, figure3_r3
+
+CONTEXT = EvaluationContext()
+RULES = rules_by_name()
+
+
+def run(op):
+    return op.evaluate(CONTEXT)
+
+
+class TestRoundTripElimination:
+    def test_ts_td_roundtrip(self, r1):
+        plan = TransferToStratum(TransferToDBMS(LiteralRelation(r1)))
+        application = RULES["T-roundtrip-SD"].apply(plan)
+        assert application is not None
+        assert application.replacement == LiteralRelation(r1)
+        assert multiset_equivalent(run(plan), run(application.replacement))
+
+    def test_td_ts_roundtrip(self, r1):
+        plan = TransferToDBMS(TransferToStratum(LiteralRelation(r1)))
+        application = RULES["T-roundtrip-DS"].apply(plan)
+        assert application is not None
+        assert multiset_equivalent(run(plan), run(application.replacement))
+
+    def test_no_match_on_single_transfer(self, r1):
+        assert RULES["T-roundtrip-SD"].apply(TransferToStratum(LiteralRelation(r1))) is None
+
+
+class TestMoveToStratum:
+    def test_unary_operation_moves_above_the_transfer(self, r1):
+        plan = TransferToStratum(Coalescing(LiteralRelation(r1)))
+        application = RULES["T-to-stratum"].apply(plan)
+        assert application is not None
+        rewritten = application.replacement
+        assert isinstance(rewritten, Coalescing)
+        assert isinstance(rewritten.child, TransferToStratum)
+        assert multiset_equivalent(run(plan), run(rewritten))
+
+    def test_binary_operation_moves_above_the_transfer(self, r3, r1):
+        plan = TransferToStratum(
+            TemporalDifference(LiteralRelation(r3), LiteralRelation(r1))
+        )
+        application = RULES["T-to-stratum"].apply(plan)
+        assert application is not None
+        rewritten = application.replacement
+        assert isinstance(rewritten, TemporalDifference)
+        assert all(isinstance(child, TransferToStratum) for child in rewritten.children)
+        assert multiset_equivalent(run(plan), run(rewritten))
+
+    def test_sort_moves_with_list_equivalence(self, r1):
+        plan = TransferToStratum(Sort(OrderSpec.ascending("EmpName"), LiteralRelation(r1)))
+        application = RULES["T-to-stratum"].apply(plan)
+        assert application is not None
+        assert application.equivalence is EquivalenceType.LIST
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_nonsort_moves_are_multiset_only(self, r1):
+        plan = TransferToStratum(Coalescing(LiteralRelation(r1)))
+        application = RULES["T-to-stratum"].apply(plan)
+        assert application.equivalence is EquivalenceType.MULTISET
+
+    def test_does_not_move_leaves_or_transfers(self, r1):
+        assert RULES["T-to-stratum"].apply(TransferToStratum(LiteralRelation(r1))) is None
+        assert (
+            RULES["T-to-stratum"].apply(TransferToStratum(TransferToDBMS(LiteralRelation(r1))))
+            is None
+        )
+
+
+class TestMoveToDBMS:
+    def test_conventional_operation_moves_below_the_transfer(self, r1):
+        plan = Selection(equals("EmpName", "Anna"), TransferToStratum(LiteralRelation(r1)))
+        application = RULES["T-to-dbms"].apply(plan)
+        assert application is not None
+        rewritten = application.replacement
+        assert isinstance(rewritten, TransferToStratum)
+        assert isinstance(rewritten.child, Selection)
+        assert multiset_equivalent(run(plan), run(rewritten))
+
+    def test_sort_moves_with_list_equivalence(self, r1):
+        plan = Sort(OrderSpec.ascending("EmpName"), TransferToStratum(LiteralRelation(r1)))
+        application = RULES["T-to-dbms"].apply(plan)
+        assert application is not None
+        assert application.equivalence is EquivalenceType.LIST
+        assert list_equivalent(run(plan), run(application.replacement))
+
+    def test_temporal_operations_never_move_into_the_dbms(self, r1):
+        plan = Coalescing(TransferToStratum(LiteralRelation(r1)))
+        assert RULES["T-to-dbms"].apply(plan) is None
+
+    def test_requires_all_inputs_to_come_from_the_dbms(self, r1, r3):
+        plan = Projection(["EmpName"], LiteralRelation(r1))
+        assert RULES["T-to-dbms"].apply(plan) is None
+
+    def test_conventional_operations_catalogue(self):
+        names = {operation.__name__ for operation in CONVENTIONAL_OPERATIONS}
+        assert "Selection" in names and "Sort" in names
+        assert "Coalescing" not in names and "TemporalDifference" not in names

@@ -1,0 +1,103 @@
+"""Property-based tests of snapshot reducibility (Section 2.2).
+
+A temporal operation opT is snapshot reducible to its conventional
+counterpart op when, for every time point t, the snapshot at t of
+``opT(r, ...)`` equals ``op`` applied to the snapshots at t of the arguments.
+Because several of the operations are only well behaved on arguments without
+duplicates in snapshots (the paper's stated usage assumption), the tests
+deduplicate snapshots first where the paper requires it and compare at the
+set or multiset level accordingly.
+"""
+
+from hypothesis import given
+
+from repro.core.expressions import count
+from repro.core.operations import (
+    DuplicateElimination,
+    LiteralRelation,
+    TemporalAggregation,
+    TemporalCartesianProduct,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalUnion,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.relation import Relation
+from repro.core.schema import RelationSchema, STRING
+
+from .strategies import NARROW_TEMPORAL_SCHEMA, narrow_temporal_relations
+
+CONTEXT = EvaluationContext()
+
+
+def run(op):
+    return op.evaluate(CONTEXT)
+
+
+def probe_points(*relations):
+    points = set()
+    for relation in relations:
+        for tup in relation:
+            points.add(tup.period.start)
+            points.add(tup.period.end - 1)
+    return sorted(points)
+
+
+class TestTemporalDuplicateEliminationReducibility:
+    @given(narrow_temporal_relations(max_size=6))
+    def test_snapshots_equal_deduplicated_snapshots(self, relation):
+        result = run(TemporalDuplicateElimination(LiteralRelation(relation)))
+        for time in probe_points(relation):
+            expected = relation.snapshot(time).as_set()
+            assert result.snapshot(time).as_set() == expected
+            assert not result.snapshot(time).has_duplicates()
+
+
+class TestTemporalDifferenceReducibility:
+    @given(narrow_temporal_relations(max_size=5), narrow_temporal_relations(max_size=5))
+    def test_snapshots_subtract(self, left, right):
+        deduplicated = run(TemporalDuplicateElimination(LiteralRelation(left)))
+        result = run(TemporalDifference(LiteralRelation(deduplicated), LiteralRelation(right)))
+        for time in probe_points(deduplicated, right):
+            expected = deduplicated.snapshot(time).as_set() - right.snapshot(time).as_set()
+            assert result.snapshot(time).as_set() == expected
+
+
+class TestTemporalUnionReducibility:
+    @given(narrow_temporal_relations(max_size=5), narrow_temporal_relations(max_size=5))
+    def test_snapshots_union(self, left, right):
+        result = run(TemporalUnion(LiteralRelation(left), LiteralRelation(right)))
+        for time in probe_points(left, right):
+            expected = left.snapshot(time).as_set() | right.snapshot(time).as_set()
+            assert result.snapshot(time).as_set() == expected
+
+
+class TestTemporalProductReducibility:
+    OTHER_SCHEMA = RelationSchema.temporal([("Dept", STRING)], name="D")
+
+    @given(narrow_temporal_relations(max_size=4), narrow_temporal_relations(max_size=4))
+    def test_snapshot_cardinality_matches_product_of_snapshots(self, left, right_raw):
+        right = Relation.from_rows(
+            self.OTHER_SCHEMA, [(tup["Name"], tup["T1"], tup["T2"]) for tup in right_raw]
+        )
+        result = run(TemporalCartesianProduct(LiteralRelation(left), LiteralRelation(right)))
+        for time in probe_points(left, right):
+            expected = len(left.snapshot(time)) * len(right.snapshot(time))
+            assert len(result.snapshot(time)) == expected
+
+
+class TestTemporalAggregationReducibility:
+    @given(narrow_temporal_relations(max_size=6))
+    def test_snapshot_counts_match(self, relation):
+        result = run(TemporalAggregation(["Name"], [count(alias="n")], LiteralRelation(relation)))
+        for time in probe_points(relation):
+            snapshot = relation.snapshot(time)
+            expected = {}
+            for tup in snapshot:
+                expected[tup["Name"]] = expected.get(tup["Name"], 0) + 1
+            actual = {
+                tup["Name"]: tup["n"]
+                for tup in result
+                if tup.period.contains_point(time)
+            }
+            assert actual == expected

@@ -1,0 +1,190 @@
+"""Tests for the stratum's efficient temporal operators and executor."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.equivalence import list_equivalent, multiset_equivalent
+from repro.core.exceptions import EngineError
+from repro.core.expressions import equals
+from repro.core.operations import (
+    BaseRelation,
+    Coalescing,
+    LiteralRelation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalUnion,
+    TransferToDBMS,
+    TransferToStratum,
+)
+from repro.core.operations.base import EvaluationContext
+from repro.core.order_spec import OrderSpec
+from repro.dbms import ConventionalDBMS
+from repro.stratum import (
+    StratumExecutor,
+    coalesce_fast,
+    partition_plan,
+    temporal_difference_fast,
+    temporal_duplicate_elimination_fast,
+    temporal_union_fast,
+)
+from repro.stratum.partition import DBMS, STRATUM, describe_partition
+from repro.workloads import EMPLOYEE_SCHEMA, PROJECT_SCHEMA
+
+from .strategies import narrow_temporal_relations
+
+CONTEXT = EvaluationContext()
+
+
+class TestFastImplementationsMatchReference:
+    """The stratum operators are list-compatible with the reference semantics."""
+
+    @given(narrow_temporal_relations(max_size=8))
+    def test_rdupt(self, relation):
+        reference = TemporalDuplicateElimination(LiteralRelation(relation)).evaluate(CONTEXT)
+        fast = temporal_duplicate_elimination_fast(relation)
+        assert list_equivalent(fast, reference)
+
+    @given(narrow_temporal_relations(max_size=8))
+    def test_coalesce(self, relation):
+        reference = Coalescing(LiteralRelation(relation)).evaluate(CONTEXT)
+        fast = coalesce_fast(relation)
+        assert list_equivalent(fast, reference)
+
+    @given(narrow_temporal_relations(max_size=6), narrow_temporal_relations(max_size=6))
+    def test_temporal_difference(self, left, right):
+        reference = TemporalDifference(LiteralRelation(left), LiteralRelation(right)).evaluate(
+            CONTEXT
+        )
+        fast = temporal_difference_fast(left, right)
+        assert list_equivalent(fast, reference)
+
+    @given(narrow_temporal_relations(max_size=6), narrow_temporal_relations(max_size=6))
+    def test_temporal_union(self, left, right):
+        reference = TemporalUnion(LiteralRelation(left), LiteralRelation(right)).evaluate(CONTEXT)
+        fast = temporal_union_fast(left, right)
+        assert list_equivalent(fast, reference)
+
+    def test_figure3(self, r1, r3):
+        assert list_equivalent(temporal_duplicate_elimination_fast(r1), r3)
+
+
+class TestPlanPartitioning:
+    def plan(self):
+        return Sort(
+            OrderSpec.ascending("EmpName"),
+            Coalescing(
+                TransferToStratum(
+                    Projection(["EmpName", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
+                )
+            ),
+        )
+
+    def test_engine_assignment(self):
+        partition = partition_plan(self.plan())
+        assert partition.engine_of(()) == STRATUM
+        assert partition.engine_of((0,)) == STRATUM
+        assert partition.engine_of((0, 0)) == STRATUM  # the TS node itself
+        assert partition.engine_of((0, 0, 0)) == DBMS
+        assert partition.engine_of((0, 0, 0, 0)) == DBMS
+
+    def test_fragments_and_counts(self):
+        partition = partition_plan(self.plan())
+        assert partition.dbms_fragments == [(0, 0, 0)]
+        assert partition.transfer_count == 1
+        counts = partition.operator_counts()
+        assert counts[DBMS] == 2
+        assert counts[STRATUM] == 3
+
+    def test_td_switches_back_to_stratum(self):
+        plan = TransferToStratum(
+            Selection(
+                equals("EmpName", "Anna"),
+                TransferToDBMS(Coalescing(BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))),
+            )
+        )
+        partition = partition_plan(plan)
+        assert partition.engine_of((0,)) == DBMS  # the selection
+        assert partition.engine_of((0, 0, 0)) == STRATUM  # the coalescing below TD
+
+    def test_describe_partition_mentions_engines(self):
+        rendered = describe_partition(self.plan())
+        assert "[stratum]" in rendered and "[dbms]" in rendered
+
+
+class TestStratumExecutor:
+    def make_executor(self, employee, project):
+        dbms = ConventionalDBMS()
+        dbms.load_relation("EMPLOYEE", employee)
+        dbms.load_relation("PROJECT", project)
+        return StratumExecutor(dbms)
+
+    def paper_plan(self):
+        employee = Projection(["EmpName", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
+        project = Projection(["EmpName", "T1", "T2"], BaseRelation("PROJECT", PROJECT_SCHEMA))
+        difference = TemporalDifference(TemporalDuplicateElimination(employee), project)
+        return Sort(
+            OrderSpec.ascending("EmpName"),
+            Coalescing(TemporalDuplicateElimination(difference)),
+        )
+
+    def test_pure_stratum_execution_matches_reference(self, employee, project, expected_result):
+        executor = self.make_executor(employee, project)
+        result = executor.execute(self.paper_plan())
+        assert list_equivalent(result, expected_result)
+        assert executor.report.dbms_calls == 0
+        assert executor.report.implicit_transfers == 2
+
+    def test_fully_pushed_down_execution(self, employee, project, expected_result):
+        executor = self.make_executor(employee, project)
+        plan = TransferToStratum(self.paper_plan())
+        result = executor.execute(plan)
+        assert multiset_equivalent(result, expected_result)
+        assert executor.report.dbms_calls == 1
+        assert executor.report.dbms_emulated_operations  # temporal work was emulated
+
+    def test_mixed_execution_with_dbms_fragments(self, employee, project, expected_result):
+        executor = self.make_executor(employee, project)
+        employee_fragment = TransferToStratum(
+            Projection(["EmpName", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
+        )
+        project_fragment = TransferToStratum(
+            Projection(["EmpName", "T1", "T2"], BaseRelation("PROJECT", PROJECT_SCHEMA))
+        )
+        plan = Sort(
+            OrderSpec.ascending("EmpName"),
+            Coalescing(
+                TemporalDuplicateElimination(
+                    TemporalDifference(
+                        TemporalDuplicateElimination(employee_fragment), project_fragment
+                    )
+                )
+            ),
+        )
+        result = executor.execute(plan)
+        assert list_equivalent(result, expected_result)
+        assert executor.report.dbms_calls == 2
+        assert executor.report.dbms_emulated_operations == []
+        assert executor.report.stratum_operations == 5
+
+    def test_td_islands_are_materialised(self, employee, project):
+        executor = self.make_executor(employee, project)
+        # The DBMS fragment sorts data that the stratum coalesced first.
+        plan = TransferToStratum(
+            Sort(
+                OrderSpec.ascending("EmpName"),
+                TransferToDBMS(Coalescing(BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))),
+            )
+        )
+        result = executor.execute(plan)
+        # Coalescing merges Anna's two adjacent Sales periods: 5 tuples -> 4.
+        assert result.cardinality == 4
+        assert executor.report.dbms_calls == 1
+
+    def test_unbalanced_transfers_are_rejected(self, employee, project):
+        executor = self.make_executor(employee, project)
+        plan = TransferToStratum(TransferToStratum(BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA)))
+        with pytest.raises(EngineError):
+            executor.execute(plan)

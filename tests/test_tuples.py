@@ -1,0 +1,140 @@
+"""Unit tests for tuples over schemas."""
+
+import pytest
+
+from repro.core.exceptions import SchemaError, TemporalSchemaError
+from repro.core.period import Period
+from repro.core.schema import INTEGER, RelationSchema, STRING
+from repro.core.tuples import Tuple
+
+TEMPORAL = RelationSchema.temporal([("EmpName", STRING), ("Dept", STRING)], name="EMPLOYEE")
+SNAPSHOT = RelationSchema.snapshot([("EmpName", STRING), ("Amount", INTEGER)])
+
+
+def john(start=1, end=8, dept="Sales"):
+    return Tuple(TEMPORAL, {"EmpName": "John", "Dept": dept, "T1": start, "T2": end})
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        tup = john()
+        assert tup["EmpName"] == "John"
+        assert tup["T2"] == 8
+
+    def test_from_sequence_uses_schema_order(self):
+        tup = Tuple.from_sequence(TEMPORAL, ["John", "Sales", 1, 8])
+        assert tup == john()
+
+    def test_from_sequence_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            Tuple.from_sequence(TEMPORAL, ["John", "Sales", 1])
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Tuple(TEMPORAL, {"EmpName": "John", "Dept": "Sales", "T1": 1})
+
+    def test_extra_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Tuple(SNAPSHOT, {"EmpName": "John", "Amount": 3, "Extra": 1})
+
+    def test_domain_violation_rejected(self):
+        with pytest.raises(SchemaError):
+            Tuple(SNAPSHOT, {"EmpName": "John", "Amount": "three"})
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(Exception):
+            john(start=8, end=1)
+
+
+class TestAccess:
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            john()["Salary"]
+
+    def test_get_with_default(self):
+        assert john().get("Salary", 0) == 0
+        assert john().get("Dept") == "Sales"
+
+    def test_values_in_schema_order(self):
+        assert john().values() == ("John", "Sales", 1, 8)
+
+    def test_as_dict(self):
+        assert john().as_dict() == {"EmpName": "John", "Dept": "Sales", "T1": 1, "T2": 8}
+
+    def test_period(self):
+        assert john().period == Period(1, 8)
+
+    def test_snapshot_tuple_has_no_period(self):
+        tup = Tuple(SNAPSHOT, {"EmpName": "John", "Amount": 3})
+        assert not tup.is_temporal
+        with pytest.raises(TemporalSchemaError):
+            _ = tup.period
+
+
+class TestValueEquivalence:
+    def test_value_part_excludes_time(self):
+        assert john().value_part() == ("John", "Sales")
+
+    def test_value_equivalent_ignores_periods(self):
+        assert john(1, 8).value_equivalent(john(6, 11))
+
+    def test_value_equivalence_requires_same_values(self):
+        assert not john(dept="Sales").value_equivalent(john(dept="Ads"))
+
+
+class TestDerivation:
+    def test_project(self):
+        narrow = TEMPORAL.project(["EmpName", "T1", "T2"])
+        projected = john().project(narrow)
+        assert projected.values() == ("John", 1, 8)
+
+    def test_replace(self):
+        replaced = john().replace(Dept="Ads")
+        assert replaced["Dept"] == "Ads"
+        assert john()["Dept"] == "Sales"
+
+    def test_replace_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            john().replace(Salary=10)
+
+    def test_with_period(self):
+        moved = john().with_period(Period(3, 5))
+        assert moved.period == Period(3, 5)
+        assert moved["EmpName"] == "John"
+
+    def test_without_time(self):
+        snapshot = john().without_time()
+        assert not snapshot.is_temporal
+        assert snapshot.values() == ("John", "Sales")
+
+    def test_concat(self):
+        other_schema = RelationSchema.snapshot([("Prj", STRING)])
+        other = Tuple(other_schema, {"Prj": "P1"})
+        combined_schema = RelationSchema.snapshot(
+            [("EmpName", STRING), ("Amount", INTEGER), ("Prj", STRING)]
+        )
+        left = Tuple(SNAPSHOT, {"EmpName": "John", "Amount": 3})
+        combined = left.concat(other, combined_schema)
+        assert combined.values() == ("John", 3, "P1")
+
+
+class TestEqualityAndHashing:
+    def test_equality_is_by_attribute_values(self):
+        assert john() == Tuple.from_sequence(TEMPORAL, ["John", "Sales", 1, 8])
+
+    def test_equality_ignores_attribute_order(self):
+        reordered_schema = RelationSchema(
+            ["Dept", "EmpName", "T1", "T2"],
+            {a: TEMPORAL.domains[a] for a in TEMPORAL.attributes},
+        )
+        reordered = Tuple(
+            reordered_schema, {"EmpName": "John", "Dept": "Sales", "T1": 1, "T2": 8}
+        )
+        assert john() == reordered
+        assert hash(john()) == hash(reordered)
+
+    def test_inequality_on_values(self):
+        assert john(1, 8) != john(1, 9)
+
+    def test_usable_in_sets(self):
+        assert len({john(), john(), john(6, 11)}) == 2

@@ -1,0 +1,95 @@
+"""Tests for the paper's example data and the synthetic workload generators."""
+
+import pytest
+
+from repro.core.relation import Relation
+from repro.workloads import (
+    WorkloadParameters,
+    employee_relation,
+    expected_result_relation,
+    figure3_r1,
+    figure3_r3,
+    generate_assignment_history,
+    generate_employees,
+    generate_projects,
+    project_relation,
+    scaled_paper_workload,
+)
+
+
+class TestFigure1Data:
+    def test_employee_shape(self, employee):
+        assert employee.cardinality == 5
+        assert employee.schema.attributes == ("EmpName", "Dept", "T1", "T2")
+
+    def test_project_shape(self, project):
+        assert project.cardinality == 8
+        assert project.schema.attributes == ("EmpName", "Prj", "T1", "T2")
+
+    def test_expected_result_properties(self, expected_result):
+        assert expected_result.cardinality == 10
+        assert expected_result.is_coalesced()
+        assert not expected_result.has_snapshot_duplicates()
+        names = [tup["EmpName"] for tup in expected_result]
+        assert names == sorted(names)
+
+    def test_figure3_relations(self, r1, r3):
+        assert r1.cardinality == 5
+        assert r3.cardinality == 4
+        assert r1.has_snapshot_duplicates()
+        assert not r3.has_snapshot_duplicates()
+
+
+class TestGenerators:
+    def test_reproducibility(self):
+        params = WorkloadParameters(tuples=200, seed=3)
+        assert generate_employees(params) == generate_employees(params)
+        assert generate_projects(params) == generate_projects(params)
+
+    def test_requested_cardinality(self):
+        params = WorkloadParameters(tuples=137)
+        assert generate_employees(params).cardinality == 137
+
+    def test_schema_matches_paper(self):
+        relation = generate_employees(WorkloadParameters(tuples=10))
+        assert relation.schema.attributes == ("EmpName", "Dept", "T1", "T2")
+
+    def test_duplicate_ratio_produces_duplicates(self):
+        params = WorkloadParameters(tuples=300, duplicate_ratio=0.4, seed=1)
+        relation = generate_employees(params)
+        assert relation.has_duplicates()
+
+    def test_zero_ratios_produce_plain_histories(self):
+        params = WorkloadParameters(
+            tuples=100, duplicate_ratio=0.0, adjacency_ratio=0.0, overlap_ratio=0.0
+        )
+        relation = generate_employees(params)
+        assert relation.cardinality == 100
+
+    def test_adjacency_creates_coalescing_opportunities(self):
+        params = WorkloadParameters(tuples=400, adjacency_ratio=0.5, overlap_ratio=0.0, seed=5)
+        relation = generate_employees(params)
+        assert not relation.is_coalesced()
+
+    def test_overlap_creates_snapshot_duplicates(self):
+        params = WorkloadParameters(tuples=400, overlap_ratio=0.5, adjacency_ratio=0.0, seed=5)
+        relation = generate_employees(params)
+        assert relation.has_snapshot_duplicates()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadParameters(duplicate_ratio=0.9, adjacency_ratio=0.9)
+        with pytest.raises(ValueError):
+            WorkloadParameters(entities=0)
+
+    def test_assignment_history(self):
+        relation = generate_assignment_history(tuples=50, seed=2)
+        assert relation.cardinality == 50
+        assert relation.schema.attributes == ("Entity", "Value", "T1", "T2")
+
+    def test_scaled_paper_workload(self):
+        employees, projects = scaled_paper_workload(scale=20)
+        assert employees.cardinality == 100
+        assert projects.cardinality == 160
+        assert employees.schema.attributes == ("EmpName", "Dept", "T1", "T2")
+        assert projects.schema.attributes == ("EmpName", "Prj", "T1", "T2")
