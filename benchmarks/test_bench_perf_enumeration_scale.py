@@ -7,41 +7,13 @@ and how strongly the query's result kind (Definition 5.1) prunes the space.
 """
 
 from repro.core.enumeration import enumerate_plans
-from repro.core.operations import (
-    BaseRelation,
-    Coalescing,
-    Projection,
-    Sort,
-    TemporalDifference,
-    TemporalDuplicateElimination,
-    TemporalUnion,
-    TransferToStratum,
-)
-from repro.core.order_spec import OrderSpec
 from repro.core.query import QueryResultSpec
 from repro.core.rules import ALGEBRAIC_RULES, DEFAULT_RULES
-from repro.workloads import EMPLOYEE_SCHEMA, PROJECT_SCHEMA
+from repro.workloads import chained_query
 
 from .conftest import banner
 
 MAX_PLANS = 1500
-
-
-def chained_query(operations: int):
-    """A query chaining ``operations`` temporal set operations before the output stage."""
-    current = TemporalDuplicateElimination(
-        Projection(["EmpName", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
-    )
-    for index in range(operations):
-        other = Projection(["EmpName", "T1", "T2"], BaseRelation("PROJECT", PROJECT_SCHEMA))
-        if index % 2 == 0:
-            current = TemporalDifference(current, other)
-        else:
-            current = TemporalUnion(current, other)
-    plan = TransferToStratum(
-        Sort(OrderSpec.ascending("EmpName"), Coalescing(TemporalDuplicateElimination(current)))
-    )
-    return plan, QueryResultSpec.list(OrderSpec.ascending("EmpName"), distinct=True)
 
 
 def enumerate_for_size(operations: int, rules=DEFAULT_RULES):

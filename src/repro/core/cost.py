@@ -190,16 +190,66 @@ def _engine_factor(node: Operation, engine: str, model: CostModel) -> float:
     return model.dbms_speed
 
 
+# ---------------------------------------------------------------------------
+# Public per-operator entry points (used by the memo search in repro.search)
+# ---------------------------------------------------------------------------
+
+
+def operator_cardinality(
+    node: Operation,
+    child_cardinalities: Sequence[float],
+    statistics: Optional[Mapping[str, int]] = None,
+    model: Optional[CostModel] = None,
+) -> float:
+    """Estimated output cardinality of one operator given its input estimates."""
+    model = model or CostModel()
+    if isinstance(node, BaseRelation):
+        statistics = statistics or {}
+        return float(statistics.get(node.relation_name, model.default_base_cardinality))
+    if isinstance(node, LiteralRelation):
+        return float(len(node.relation))
+    return _estimate_operator(node, child_cardinalities, model)
+
+
+def operator_work(
+    node: Operation,
+    child_cardinalities: Sequence[float],
+    output_cardinality: float,
+    engine: str,
+    model: Optional[CostModel] = None,
+) -> float:
+    """The work one operator contributes when executed by ``engine``."""
+    model = model or CostModel()
+    return _operator_work(node, child_cardinalities, output_cardinality, model) * _engine_factor(
+        node, engine, model
+    )
+
+
+def minimal_engine_factor(node: Operation, model: Optional[CostModel] = None) -> float:
+    """The cheapest engine factor any placement could give this operator.
+
+    An admissible per-operator bound for branch-and-bound: whatever transfers
+    a rewrite introduces or removes, the operator's work is scaled by at least
+    this factor.
+    """
+    model = model or CostModel()
+    return min(
+        _engine_factor(node, Engine.STRATUM, model), _engine_factor(node, Engine.DBMS, model)
+    )
+
+
 def estimate_cost(
     plan: Operation,
     statistics: Optional[Mapping[str, int]] = None,
     model: Optional[CostModel] = None,
+    engine: str = Engine.STRATUM,
 ) -> PlanCost:
     """Estimate the execution cost of ``plan``.
 
     The engine executing each node is derived from the transfer operations in
-    the plan: the root runs in the stratum, everything below a ``TS`` runs in
-    the DBMS, and a ``TD`` below that switches back to the stratum.
+    the plan: the root runs in ``engine`` (the stratum unless the plan is a
+    DBMS-side fragment), everything below a ``TS`` runs in the DBMS, and a
+    ``TD`` below that switches back to the stratum.
     """
     model = model or CostModel()
     statistics = statistics or {}
@@ -228,7 +278,7 @@ def estimate_cost(
         breakdown.append((node.label(), engine, work))
         return sum(child_costs) + work, output
 
-    total, output = visit(plan, Engine.STRATUM)
+    total, output = visit(plan, engine)
     return PlanCost(total=total, output_cardinality=output, breakdown=list(reversed(breakdown)))
 
 

@@ -26,9 +26,9 @@ Properties of the implementation:
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from .applicability import involved_properties, rule_application_allowed
 from .exceptions import EnumerationError
@@ -61,6 +61,10 @@ class EnumerationResult:
 
     plans: List[Operation]
     statistics: EnumerationStatistics
+    _signatures: Set[PyTuple] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._signatures = {plan.signature() for plan in self.plans}
 
     def __len__(self) -> int:
         return len(self.plans)
@@ -69,7 +73,7 @@ class EnumerationResult:
         return iter(self.plans)
 
     def __contains__(self, plan: Operation) -> bool:
-        return any(existing == plan for existing in self.plans)
+        return plan.signature() in self._signatures
 
 
 def enumerate_plans(
@@ -101,11 +105,11 @@ def enumerate_plans(
     statistics = EnumerationStatistics()
     plans: "OrderedDict[PyTuple, Operation]" = OrderedDict()
     plans[initial_plan.signature()] = initial_plan
-    queue: List[Operation] = [initial_plan]
+    queue: Deque[Operation] = deque([initial_plan])
     statistics.plans_generated = 1
 
     while queue:
-        plan = queue.pop(0)
+        plan = queue.popleft()
         statistics.plans_considered += 1
         properties = annotate(plan, query)
         for rule in rule_set:

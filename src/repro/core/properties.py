@@ -97,12 +97,7 @@ def annotate(plan: Operation, query: QueryResultSpec) -> PropertyMap:
     module docstring.
     """
     annotations: PropertyMap = {}
-    root_properties = OperationProperties(
-        order_required=query.kind is ResultKind.LIST,
-        duplicates_relevant=query.kind is not ResultKind.SET,
-        period_preserving=True,
-    )
-    _annotate_node(plan, ROOT_PATH, root_properties, annotations)
+    _annotate_node(plan, ROOT_PATH, root_properties(query), annotations)
     return annotations
 
 
@@ -121,6 +116,22 @@ def _annotate_node(
 # ---------------------------------------------------------------------------
 # Per-property propagation
 # ---------------------------------------------------------------------------
+
+
+def root_properties(query: QueryResultSpec) -> OperationProperties:
+    """The Table 2 properties holding at a plan root for this query."""
+    return OperationProperties(
+        order_required=query.kind is ResultKind.LIST,
+        duplicates_relevant=query.kind is not ResultKind.SET,
+        period_preserving=True,
+    )
+
+
+def child_properties(
+    parent: Operation, child_index: int, parent_properties: OperationProperties
+) -> OperationProperties:
+    """One top-down propagation step (public entry for the memo search)."""
+    return _child_properties(parent, child_index, parent_properties)
 
 
 def _child_properties(

@@ -58,6 +58,11 @@ class TransformationRule:
     equivalence: EquivalenceType = EquivalenceType.LIST
     #: One-line human-readable statement of the rule.
     description: str = ""
+    #: Ordering hint for cost-guided search (higher fires first): rules that
+    #: remove work outrank structural rearrangements, so the memo search
+    #: reaches cheap plans (tight upper bounds) early.  Exhaustive
+    #: enumeration ignores it — the reachable plan set is order independent.
+    promise: float = 1.0
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
         """Try to rewrite the subtree rooted at ``node``."""

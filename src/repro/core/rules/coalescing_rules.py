@@ -48,6 +48,7 @@ class RemoveRedundantCoalescing(TransformationRule):
 
     name = "C1"
     equivalence = EquivalenceType.LIST
+    promise = 2.0
     description = "coalT(r) = r when r is coalesced"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -63,6 +64,7 @@ class DropCoalescingAsSnapshotMultiset(TransformationRule):
 
     name = "C2"
     equivalence = EquivalenceType.SNAPSHOT_MULTISET
+    promise = 2.0
     description = "coalT(r) = r as snapshot multisets"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -95,6 +97,7 @@ class DropCoalescingBelowNonTemporalProjection(TransformationRule):
 
     name = "C4"
     equivalence = EquivalenceType.SET
+    promise = 1.5
     description = "coalescing below a non-temporal projection is unnecessary for sets"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:

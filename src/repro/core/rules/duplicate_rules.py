@@ -40,6 +40,7 @@ class RemoveRedundantDuplicateElimination(TransformationRule):
 
     name = "D1"
     equivalence = EquivalenceType.LIST
+    promise = 2.0
     description = "rdup(r) = r when r has no duplicates"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -58,6 +59,7 @@ class RemoveRedundantTemporalDuplicateElimination(TransformationRule):
 
     name = "D2"
     equivalence = EquivalenceType.LIST
+    promise = 2.0
     description = "rdupT(r) = r when r has no duplicates in snapshots"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -74,6 +76,7 @@ class DropDuplicateEliminationAsSet(TransformationRule):
 
     name = "D3"
     equivalence = EquivalenceType.SET
+    promise = 2.0
     description = "rdup(r) = r as sets"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -89,6 +92,7 @@ class DropTemporalDuplicateEliminationAsSnapshotSet(TransformationRule):
 
     name = "D4"
     equivalence = EquivalenceType.SNAPSHOT_SET
+    promise = 2.0
     description = "rdupT(r) = r as snapshot sets"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -145,6 +149,7 @@ class CollapseDuplicateElimination(TransformationRule):
 
     name = "D-idem"
     equivalence = EquivalenceType.LIST
+    promise = 2.0
     description = "rdup is idempotent"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -160,6 +165,7 @@ class CollapseTemporalDuplicateElimination(TransformationRule):
 
     name = "DT-idem"
     equivalence = EquivalenceType.LIST
+    promise = 2.0
     description = "rdupT is idempotent"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:

@@ -42,6 +42,7 @@ class RemoveSatisfiedSort(TransformationRule):
 
     name = "S1"
     equivalence = EquivalenceType.LIST
+    promise = 2.0
     description = "drop a sort whose order the argument already satisfies"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -58,6 +59,7 @@ class DropSortAsMultiset(TransformationRule):
 
     name = "S2"
     equivalence = EquivalenceType.MULTISET
+    promise = 2.0
     description = "drop a sort when only the multiset matters"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -74,6 +76,7 @@ class CollapseSorts(TransformationRule):
 
     name = "S3"
     equivalence = EquivalenceType.LIST
+    promise = 2.0
     description = "collapse consecutive sorts"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:

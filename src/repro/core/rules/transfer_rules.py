@@ -64,6 +64,7 @@ class EliminateTransferRoundTripToDBMS(TransformationRule):
 
     name = "T-roundtrip-SD"
     equivalence = EquivalenceType.MULTISET
+    promise = 2.0
     description = "eliminate a TS(TD(r)) round trip"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:
@@ -79,6 +80,7 @@ class EliminateTransferRoundTripToStratum(TransformationRule):
 
     name = "T-roundtrip-DS"
     equivalence = EquivalenceType.MULTISET
+    promise = 2.0
     description = "eliminate a TD(TS(r)) round trip"
 
     def apply(self, node: Operation) -> Optional[RuleApplication]:

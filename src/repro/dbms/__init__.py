@@ -3,13 +3,14 @@
 from .catalog import Catalog, Table, TableStatistics
 from .engine import ConventionalDBMS, DBMSResult
 from .executor import ExecutionReport, PhysicalPlanner, extract_equi_join
-from .optimizer import ConventionalOptimizer
+from .optimizer import ConventionalOptimizer, CostGuidedConventionalOptimizer
 from .sqlgen import to_sql
 
 __all__ = [
     "Catalog",
     "ConventionalDBMS",
     "ConventionalOptimizer",
+    "CostGuidedConventionalOptimizer",
     "DBMSResult",
     "ExecutionReport",
     "PhysicalPlanner",

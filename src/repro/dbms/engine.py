@@ -20,7 +20,7 @@ from ..core.relation import Relation
 from ..core.schema import RelationSchema
 from .catalog import Catalog, Table
 from .executor import ExecutionReport, PhysicalPlanner
-from .optimizer import ConventionalOptimizer
+from .optimizer import ConventionalOptimizer, CostGuidedConventionalOptimizer
 from .sqlgen import to_sql
 
 
@@ -34,11 +34,19 @@ class DBMSResult:
 
 
 class ConventionalDBMS:
-    """An in-memory, multiset-semantics SQL engine."""
+    """An in-memory, multiset-semantics SQL engine.
 
-    def __init__(self, optimizer: Optional[ConventionalOptimizer] = None) -> None:
+    By default the engine's own optimization is the cost-guided memo search
+    over its catalog statistics (:class:`CostGuidedConventionalOptimizer`);
+    pass a :class:`ConventionalOptimizer` to fall back to the purely
+    heuristic fixpoint rewriter.
+    """
+
+    def __init__(self, optimizer=None) -> None:
         self.catalog = Catalog()
-        self._optimizer = optimizer or ConventionalOptimizer()
+        self._optimizer = optimizer or CostGuidedConventionalOptimizer(
+            statistics_provider=self.catalog.statistics
+        )
 
     # -- data definition ---------------------------------------------------------
 

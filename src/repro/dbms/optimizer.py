@@ -14,10 +14,13 @@ fixpoint rather than enumerating alternatives.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
+from ..core.analysis import derive_order
+from ..core.cost import CostModel
 from ..core.equivalence import EquivalenceType
 from ..core.operations import Operation, Sort
+from ..core.query import QueryResultSpec
 from ..core.rules import CONVENTIONAL_RULES, DUPLICATE_RULES, SORTING_RULES
 from ..core.rules.base import TransformationRule
 
@@ -56,6 +59,9 @@ class ConventionalOptimizer:
     def __init__(self, rules: Optional[Sequence[TransformationRule]] = None, max_passes: int = 25) -> None:
         self._rules: List[TransformationRule] = list(rules) if rules is not None else _heuristic_rules()
         self._max_passes = max_passes
+        #: Instrumentation for the most recent :meth:`optimize` call.
+        self.last_run_passes: int = 0
+        self.last_run_rewrites: int = 0
 
     @property
     def rules(self) -> Sequence[TransformationRule]:
@@ -72,21 +78,105 @@ class ConventionalOptimizer:
         make, not the DBMS's).
         """
         current = plan
+        self.last_run_passes = 0
+        self.last_run_rewrites = 0
         for _ in range(self._max_passes):
             rewritten = self._single_pass(current)
             if rewritten is None:
                 return current
+            self.last_run_passes += 1
             current = rewritten
         return current
 
     def _single_pass(self, plan: Operation) -> Optional[Operation]:
+        """Apply every non-overlapping match of every rule once, in one pass.
+
+        Rules are tried in catalogue order; locations within a rule in
+        pre-order.  A location is skipped when it lies inside a region some
+        earlier rewrite of this pass already replaced (the paths below a
+        rewritten location address the *new* subtree and are revisited on the
+        next pass), so all rewrites of one pass touch disjoint subtrees and
+        the pre-pass location list stays valid throughout.
+        """
+        current = plan
+        applied: List = []
         for rule in self._rules:
-            for location, node in plan.locations():
+            for location, _ in plan.locations():
+                if any(
+                    location[: len(done)] == done or done[: len(location)] == location
+                    for done in applied
+                ):
+                    continue
+                node = current.subtree_at(location)
                 result = rule.apply(node)
                 if result is None:
                     continue
-                replacement = plan.replace_at(location, result.replacement)
-                if replacement == plan:
+                replacement = current.replace_at(location, result.replacement)
+                if replacement == current:
                     continue
-                return replacement
-        return None
+                current = replacement
+                applied.append(location)
+                self.last_run_rewrites += 1
+        return current if applied else None
+
+
+def _multiset_safe_rules() -> List[TransformationRule]:
+    """The full conventional-side catalogue, restricted to ≡L / ≡M rules.
+
+    An engine that only promises multisets may apply list and multiset
+    equivalences freely; set-level rules (D3, C4, ...) would change the
+    duplicate structure it must preserve.
+    """
+    rules: List[TransformationRule] = []
+    for rule in CONVENTIONAL_RULES + DUPLICATE_RULES + SORTING_RULES:
+        if rule.equivalence in (EquivalenceType.LIST, EquivalenceType.MULTISET):
+            rules.append(rule)
+    return rules
+
+
+class CostGuidedConventionalOptimizer:
+    """Cost-guided fragment optimizer backed by the memo search.
+
+    Plays the same role as :class:`ConventionalOptimizer` — the DBMS's "own
+    optimization" of the plan fragments the stratum ships down — but picks
+    the cheapest fragment under the cost model instead of applying
+    heuristics to a fixpoint.  The fragment's delivered order is protected:
+    when the fragment's result is ordered, the search runs under a LIST
+    result specification for exactly that order (the stratum may rely on
+    what it receives), otherwise under a multiset specification.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[TransformationRule]] = None,
+        cost_model: Optional[CostModel] = None,
+        statistics_provider: Optional[Callable[[], Mapping[str, int]]] = None,
+    ) -> None:
+        self._rules: List[TransformationRule] = (
+            list(rules) if rules is not None else _multiset_safe_rules()
+        )
+        self._cost_model = cost_model or CostModel()
+        self._statistics_provider = statistics_provider
+
+    @property
+    def rules(self) -> Sequence[TransformationRule]:
+        """The rewrite rules the optimizer may apply."""
+        return tuple(self._rules)
+
+    def optimize(self, plan: Operation) -> Operation:
+        """Return the cheapest fragment plan the rule set can reach."""
+        from ..core.cost import Engine
+        from ..search import MemoSearch, SearchOptions
+
+        order = derive_order(plan)
+        specification = (
+            QueryResultSpec.list(order) if order else QueryResultSpec.multiset()
+        )
+        statistics = self._statistics_provider() if self._statistics_provider else None
+        search = MemoSearch(
+            rules=self._rules,
+            cost_model=self._cost_model,
+            options=SearchOptions(max_expressions=600, max_sweeps=6),
+            root_engine=Engine.DBMS,
+        ).optimize(plan, specification, statistics)
+        return search.best_plan

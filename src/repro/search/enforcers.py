@@ -1,0 +1,82 @@
+"""Property enforcers: inject output operators only where the query demands.
+
+The paper's front end hands the optimizer an initial plan that already
+carries the outermost ``rdupT`` / ``coalT`` / ``sort`` the user's
+``DISTINCT`` / ``COALESCE`` / ``ORDER BY`` clauses require (Figure 2).  The
+memo search must not *rely* on that: given any correct plan for the query's
+body, these enforcers wrap it with exactly the operators still needed to
+meet the required output specification (Definition 5.1) — and nothing else,
+leaving it to the search's rules (S1, D1/D2, C1, ...) to remove or relocate
+an enforcer wherever the plan below already provides the property.
+
+Enforcers are stacked in the paper's canonical output order: duplicate
+elimination innermost, then coalescing, then the sort outermost — the shape
+of the running example's seed plan.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.analysis import (
+    derive_order,
+    guarantees_coalesced,
+    guarantees_no_duplicates,
+    guarantees_no_snapshot_duplicates,
+    produces_temporal_result,
+)
+from ..core.operations import (
+    Coalescing,
+    DuplicateElimination,
+    Operation,
+    Sort,
+    TemporalDuplicateElimination,
+)
+from ..core.query import QueryResultSpec, ResultKind
+
+
+def missing_output_enforcers(plan: Operation, query: QueryResultSpec) -> List[str]:
+    """Names of the output operators ``plan`` still needs for ``query``.
+
+    In stacking order: ``"duplicate-elimination"``, ``"coalescing"``,
+    ``"sort"``.  A name is omitted when the plan provably already delivers
+    the property (conservative static analysis — a missing guarantee yields
+    a redundant enforcer, never an incorrect plan).
+    """
+    missing: List[str] = []
+    temporal = produces_temporal_result(plan)
+    if query.distinct:
+        satisfied = (
+            guarantees_no_snapshot_duplicates(plan)
+            if temporal
+            else guarantees_no_duplicates(plan)
+        )
+        if not satisfied:
+            missing.append("duplicate-elimination")
+    if query.coalesced and temporal and not guarantees_coalesced(plan):
+        missing.append("coalescing")
+    if query.kind is ResultKind.LIST and not query.order_by.is_prefix_of(
+        derive_order(plan)
+    ):
+        missing.append("sort")
+    return missing
+
+
+def ensure_output_properties(plan: Operation, query: QueryResultSpec) -> Operation:
+    """Wrap ``plan`` with the enforcers :func:`missing_output_enforcers` lists.
+
+    Idempotent on well-formed seed plans: the front end's plans already
+    carry the required output operators, so nothing is added for them.
+    """
+    missing = set(missing_output_enforcers(plan, query))
+    current = plan
+    if "duplicate-elimination" in missing:
+        if produces_temporal_result(current):
+            current = TemporalDuplicateElimination(current)
+        else:
+            current = DuplicateElimination(current)
+    if "coalescing" in missing:
+        current = Coalescing(current)
+    if "sort" in missing:
+        current = Sort(query.order_by, current)
+    return current

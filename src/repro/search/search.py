@@ -1,0 +1,355 @@
+"""Cost-guided best-plan extraction over the memo (branch and bound).
+
+After exploration has closed the memo over the rule catalogue, the cheapest
+plan is extracted *without materializing the plan space*: a dynamic program
+walks the AND/OR graph bottom-up, computing per ``(group, engine)`` a
+frontier holding, for every achievable output-cardinality estimate, the
+cheapest ``(cost, cardinality)`` alternative.  A parent's cost depends on
+its children only through their costs (additively) and their cardinality
+estimates, so per-cardinality minimization is exact — the minimum cost at
+the root equals the minimum of :func:`repro.core.cost.estimate_cost` over
+every plan the memo represents.  (Plain cost-dominance would not be: the
+conventional difference's cardinality estimate *decreases* in its right
+input, so a pricier, larger-cardinality alternative can still win upstream.)
+
+Two admissible bounds prune the extraction:
+
+* an **upper bound** — the seed plan's own cost: any fragment already more
+  expensive than the whole seed plan cannot occur in a better plan (operator
+  work is non-negative), so its frontier entry is dropped;
+* a cheap per-group cost **lower bound** — each operator's work at its
+  minimal engine factor over lower-bounded input cardinalities (operator
+  work is monotone in its inputs even where the cardinality estimate is
+  not): an expression whose bound already exceeds the upper bound is cut
+  without ever combining its children.
+
+``SearchStatistics`` mirrors ``EnumerationStatistics``; its
+``plans_considered`` counts the plan alternatives the search actually
+examined — the seed plan plus one per group expression derived during
+exploration — which the perf benchmark compares against the exhaustive
+enumerator's count on workloads where the latter truncates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..core.cost import (
+    CostModel,
+    Engine,
+    PlanCost,
+    estimate_cost,
+    minimal_engine_factor,
+    operator_cardinality,
+    operator_work,
+)
+from ..core.operations import Difference, Operation, TransferToDBMS, TransferToStratum
+from ..core.properties import root_properties
+from ..core.query import QueryResultSpec
+from ..core.rules import DEFAULT_RULES
+from ..core.rules.base import TransformationRule
+from .enforcers import ensure_output_properties
+from .memo import Group, GroupExpression, Memo
+from .tasks import ExplorationOptions, ExplorationStatistics, explore
+
+
+@dataclass
+class SearchStatistics:
+    """Bookkeeping about one memo-search run (cf. ``EnumerationStatistics``)."""
+
+    groups: int = 0
+    expressions: int = 0
+    initial_expressions: int = 0
+    plans_considered: int = 0
+    applications_attempted: int = 0
+    applications_succeeded: int = 0
+    rejected_by_properties: int = 0
+    rule_usage: Dict[str, int] = field(default_factory=dict)
+    truncated: bool = False
+    sweeps: int = 0
+    context_upgrades: int = 0
+    merges: int = 0
+    expressions_pruned: int = 0
+    frontier_entries: int = 0
+
+    def absorb(self, exploration: ExplorationStatistics) -> None:
+        self.applications_attempted = exploration.applications_attempted
+        self.applications_succeeded = exploration.applications_succeeded
+        self.rejected_by_properties = exploration.rejected_by_properties
+        self.rule_usage = dict(exploration.rule_usage)
+        self.truncated = exploration.truncated
+        self.sweeps = exploration.sweeps
+        self.context_upgrades = exploration.context_upgrades
+
+
+@dataclass
+class SearchOptions:
+    """Budgets and knobs for one search run."""
+
+    max_expressions: int = 20000
+    max_sweeps: int = 10
+    max_candidates_per_child: int = 24
+    max_binding_combinations: int = 256
+    max_context_seeds: int = 24
+    #: Safety margin multiplied onto the upper bound before pruning, so
+    #: floating-point summation-order differences never cut the optimum.
+    upper_bound_slack: float = 1.0 + 1e-9
+
+    def exploration_options(self) -> ExplorationOptions:
+        return ExplorationOptions(
+            max_expressions=self.max_expressions,
+            max_sweeps=self.max_sweeps,
+            max_candidates_per_child=self.max_candidates_per_child,
+            max_binding_combinations=self.max_binding_combinations,
+            max_context_seeds=self.max_context_seeds,
+        )
+
+
+@dataclass
+class SearchResult:
+    """The outcome of one memo-search run."""
+
+    initial_plan: Operation
+    best_plan: Operation
+    best_cost: PlanCost
+    statistics: SearchStatistics
+    memo: Memo
+
+
+@dataclass
+class _Entry:
+    """One Pareto-frontier alternative of a ``(group, engine)`` pair."""
+
+    cost: float
+    cardinality: float
+    expression: GroupExpression
+    children: PyTuple["_Entry", ...]
+
+    def build(self) -> Operation:
+        return self.expression.shell.with_children(
+            [child.build() for child in self.children]
+        )
+
+
+def _child_engine(shell: Operation, engine: str) -> str:
+    if isinstance(shell, TransferToStratum):
+        return Engine.DBMS
+    if isinstance(shell, TransferToDBMS):
+        return Engine.STRATUM
+    return engine
+
+
+class _Extractor:
+    """Bottom-up per-cardinality DP over the memo with branch-and-bound."""
+
+    def __init__(
+        self,
+        memo: Memo,
+        statistics_map: Mapping[str, int],
+        model: CostModel,
+        search_statistics: SearchStatistics,
+        upper_bound: float,
+    ) -> None:
+        self.memo = memo
+        self.statistics_map = statistics_map
+        self.model = model
+        self.stats = search_statistics
+        self.upper_bound = upper_bound
+        self._frontiers: Dict[PyTuple[int, str], List[_Entry]] = {}
+        self._bounds: Dict[int, PyTuple[float, float]] = {}
+        self._bounds_on_stack: Set[int] = set()
+        self._cycle_cuts = 0
+
+    # -- admissible lower bounds ------------------------------------------------
+
+    def bounds(self, group_id: int) -> PyTuple[float, float]:
+        """``(cost, cardinality)`` lower bounds over all plans of a group."""
+        group_id = self.memo.find(group_id)
+        cached = self._bounds.get(group_id)
+        if cached is not None:
+            return cached
+        if group_id in self._bounds_on_stack:
+            return (0.0, 0.0)
+        self._bounds_on_stack.add(group_id)
+        best_cost = float("inf")
+        best_card = float("inf")
+        for expression in self.memo.group(group_id).expressions:
+            cost, card = self.bounds_for(expression)
+            best_cost = min(best_cost, cost)
+            best_card = min(best_card, card)
+        self._bounds_on_stack.discard(group_id)
+        result = (best_cost, best_card)
+        self._bounds[group_id] = result
+        return result
+
+    def bounds_for(self, expression: GroupExpression) -> PyTuple[float, float]:
+        """``(cost, cardinality)`` lower bounds over the expression's plans."""
+        child_bounds = [self.bounds(child) for child in expression.children]
+        child_cost = sum(bound[0] for bound in child_bounds)
+        child_cards = [bound[1] for bound in child_bounds]
+        output = operator_cardinality(
+            expression.shell, child_cards, self.statistics_map, self.model
+        )
+        # Operator *work* is monotone in the input cardinalities even where
+        # the cardinality estimate is not, so under-estimated inputs give an
+        # admissible work bound.  The output estimate itself is only a valid
+        # lower bound for monotone estimators — the conventional difference
+        # shrinks with its right input, so its bound degrades to zero.
+        card = 0.0 if isinstance(expression.shell, Difference) else output
+        work = operator_work(
+            expression.shell, child_cards, output, Engine.STRATUM, self.model
+        ) * minimal_engine_factor(expression.shell, self.model)
+        return (child_cost + work, card)
+
+    # -- frontiers ---------------------------------------------------------------
+
+    def frontier(
+        self, group_id: int, engine: str, on_stack: Optional[Set[PyTuple[int, str]]] = None
+    ) -> List[_Entry]:
+        group_id = self.memo.find(group_id)
+        key = (group_id, engine)
+        cached = self._frontiers.get(key)
+        if cached is not None:
+            return cached
+        on_stack = on_stack if on_stack is not None else set()
+        if key in on_stack:
+            # A recursive reference (possible after group merges) stands for
+            # plans that contain themselves; no finite plan comes from it.
+            self._cycle_cuts += 1
+            return []
+        on_stack.add(key)
+        cuts_before = self._cycle_cuts
+        group = self.memo.group(group_id)
+        best_by_card: Dict[float, _Entry] = {}
+        ranked = sorted(
+            ((self.bounds_for(expression), expression) for expression in group.expressions),
+            key=lambda pair: (pair[0], pair[1].id),
+        )
+        for (bound_cost, _), expression in ranked:
+            if bound_cost > self.upper_bound:
+                self.stats.expressions_pruned += 1
+                continue
+            child_engine = _child_engine(expression.shell, engine)
+            child_frontiers = [
+                self.frontier(child, child_engine, on_stack)
+                for child in expression.children
+            ]
+            if any(not frontier for frontier in child_frontiers):
+                continue
+            for combo in _combinations(child_frontiers):
+                cards = [entry.cardinality for entry in combo]
+                output = operator_cardinality(
+                    expression.shell, cards, self.statistics_map, self.model
+                )
+                work = operator_work(expression.shell, cards, output, engine, self.model)
+                cost = sum(entry.cost for entry in combo) + work
+                if cost > self.upper_bound:
+                    continue
+                holder = best_by_card.get(output)
+                if holder is None or cost < holder.cost:
+                    best_by_card[output] = _Entry(cost, output, expression, tuple(combo))
+        entries = sorted(
+            best_by_card.values(),
+            key=lambda entry: (entry.cost, entry.cardinality, entry.expression.id),
+        )
+        on_stack.discard(key)
+        # A frontier computed across a cycle cut is incomplete for contexts
+        # where the cut group is *not* an ancestor — recompute there instead
+        # of caching the truncated result.
+        if self._cycle_cuts == cuts_before:
+            self._frontiers[key] = entries
+            self.stats.frontier_entries += len(entries)
+        return entries
+
+
+def _combinations(frontiers: List[List[_Entry]]) -> List[PyTuple[_Entry, ...]]:
+    combos: List[PyTuple[_Entry, ...]] = [()]
+    for frontier in frontiers:
+        combos = [combo + (entry,) for combo in combos for entry in frontier]
+    return combos
+
+
+class MemoSearch:
+    """Memo-based, cost-guided optimizer over the paper's rule catalogue."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[TransformationRule]] = None,
+        cost_model: Optional[CostModel] = None,
+        options: Optional[SearchOptions] = None,
+        root_engine: str = Engine.STRATUM,
+    ) -> None:
+        self.rules: Sequence[TransformationRule] = (
+            tuple(rules) if rules is not None else DEFAULT_RULES
+        )
+        self.cost_model = cost_model or CostModel()
+        self.options = options or SearchOptions()
+        #: Engine executing the plan root — the stratum for whole queries,
+        #: the DBMS when optimizing a fragment on the DBMS's behalf.
+        self.root_engine = root_engine
+
+    def optimize(
+        self,
+        initial_plan: Operation,
+        query: QueryResultSpec,
+        statistics: Optional[Mapping[str, int]] = None,
+    ) -> SearchResult:
+        """Find the cheapest plan equivalent to ``initial_plan`` for ``query``."""
+        statistics_map = dict(statistics or {})
+        seed = ensure_output_properties(initial_plan, query)
+
+        memo = Memo()
+        root = memo.copy_in(seed, root_properties(query))
+        search_statistics = SearchStatistics()
+        search_statistics.initial_expressions = memo.expressions_created
+
+        exploration = explore(memo, root, self.rules, self.options.exploration_options())
+        search_statistics.absorb(exploration)
+        search_statistics.groups = len(memo.groups)
+        search_statistics.expressions = memo.expressions_created
+        search_statistics.merges = memo.merges
+        # The seed plan plus every alternative fragment derived once — each
+        # would be a distinct whole plan (or more) in the exhaustive space.
+        search_statistics.plans_considered = 1 + (
+            memo.expressions_created - search_statistics.initial_expressions
+        )
+
+        seed_cost = estimate_cost(
+            seed, statistics_map, self.cost_model, engine=self.root_engine
+        )
+        upper_bound = seed_cost.total * self.options.upper_bound_slack + 1e-9
+        extractor = _Extractor(
+            memo, statistics_map, self.cost_model, search_statistics, upper_bound
+        )
+        frontier = extractor.frontier(memo.find(root), self.root_engine)
+        if frontier:
+            best_plan = frontier[0].build()
+            best_cost = estimate_cost(
+                best_plan, statistics_map, self.cost_model, engine=self.root_engine
+            )
+            if best_cost.total > seed_cost.total:
+                best_plan, best_cost = seed, seed_cost
+        else:  # pragma: no cover - the seed always survives its own bound
+            best_plan, best_cost = seed, seed_cost
+        return SearchResult(
+            initial_plan=initial_plan,
+            best_plan=best_plan,
+            best_cost=best_cost,
+            statistics=search_statistics,
+            memo=memo,
+        )
+
+
+def search_best_plan(
+    initial_plan: Operation,
+    query: QueryResultSpec,
+    rules: Optional[Sequence[TransformationRule]] = None,
+    statistics: Optional[Mapping[str, int]] = None,
+    cost_model: Optional[CostModel] = None,
+    options: Optional[SearchOptions] = None,
+) -> SearchResult:
+    """Convenience wrapper: one-shot memo search over ``initial_plan``."""
+    return MemoSearch(rules=rules, cost_model=cost_model, options=options).optimize(
+        initial_plan, query, statistics
+    )

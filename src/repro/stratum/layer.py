@@ -31,23 +31,34 @@ from ..core.rules import DEFAULT_RULES
 from ..core.rules.base import TransformationRule
 from ..core.schema import RelationSchema
 from ..dbms.engine import ConventionalDBMS
+from ..search import MemoSearch, SearchOptions, SearchResult
 from .executor import StratumExecutionReport, StratumExecutor
 from .partition import describe_partition
 
 
 @dataclass
 class OptimizationOutcome:
-    """The result of optimizing one query."""
+    """The result of optimizing one query.
+
+    Exactly one of ``enumeration`` (exhaustive strategy) and ``search``
+    (memo strategy) is set; with optimization disabled both may describe the
+    trivial single-plan outcome.
+    """
 
     initial_plan: Operation
     chosen_plan: Operation
     chosen_cost: PlanCost
     initial_cost: PlanCost
-    enumeration: EnumerationResult
+    enumeration: Optional[EnumerationResult] = None
+    search: Optional[SearchResult] = None
 
     @property
     def plans_considered(self) -> int:
-        return len(self.enumeration)
+        if self.search is not None:
+            return self.search.statistics.plans_considered
+        if self.enumeration is not None:
+            return len(self.enumeration)
+        return 1
 
     @property
     def improvement_factor(self) -> float:
@@ -69,17 +80,35 @@ class QueryOutcome:
 
 
 class TemporalQueryOptimizer:
-    """Plan enumeration plus cost-based selection."""
+    """Cost-based plan selection over the paper's rule catalogue.
+
+    Two strategies are available:
+
+    ``"memo"`` (the default)
+        the memo-based, cost-guided search of :mod:`repro.search` — shares
+        rewritten sub-plans across alternatives and never materializes the
+        plan space, so it scales to queries the exhaustive enumerator
+        truncates on;
+    ``"exhaustive"``
+        the paper's Figure 5 enumeration followed by costing every plan —
+        retained as the oracle the agreement tests compare against.
+    """
 
     def __init__(
         self,
         rules: Optional[Sequence[TransformationRule]] = None,
         cost_model: Optional[CostModel] = None,
         max_plans: int = 3000,
+        strategy: str = "memo",
+        search_options: Optional[SearchOptions] = None,
     ) -> None:
+        if strategy not in ("memo", "exhaustive"):
+            raise ValueError(f"unknown optimizer strategy {strategy!r}")
         self.rules: Sequence[TransformationRule] = tuple(rules) if rules is not None else DEFAULT_RULES
         self.cost_model = cost_model or CostModel()
         self.max_plans = max_plans
+        self.strategy = strategy
+        self.search_options = search_options or SearchOptions(max_expressions=max_plans)
 
     def optimize(
         self,
@@ -87,7 +116,35 @@ class TemporalQueryOptimizer:
         query_spec: QueryResultSpec,
         statistics: Optional[Mapping[str, int]] = None,
     ) -> OptimizationOutcome:
-        """Enumerate equivalent plans and pick the cheapest one."""
+        """Find the cheapest plan equivalent to ``initial_plan``."""
+        if self.strategy == "memo":
+            return self._optimize_memo(initial_plan, query_spec, statistics)
+        return self._optimize_exhaustive(initial_plan, query_spec, statistics)
+
+    def _optimize_memo(
+        self,
+        initial_plan: Operation,
+        query_spec: QueryResultSpec,
+        statistics: Optional[Mapping[str, int]],
+    ) -> OptimizationOutcome:
+        search = MemoSearch(
+            rules=self.rules, cost_model=self.cost_model, options=self.search_options
+        ).optimize(initial_plan, query_spec, statistics)
+        initial_cost = estimate_cost(initial_plan, statistics, self.cost_model)
+        return OptimizationOutcome(
+            initial_plan=initial_plan,
+            chosen_plan=search.best_plan,
+            chosen_cost=search.best_cost,
+            initial_cost=initial_cost,
+            search=search,
+        )
+
+    def _optimize_exhaustive(
+        self,
+        initial_plan: Operation,
+        query_spec: QueryResultSpec,
+        statistics: Optional[Mapping[str, int]],
+    ) -> OptimizationOutcome:
         enumeration = enumerate_plans(
             initial_plan, query_spec, rules=self.rules, max_plans=self.max_plans
         )
@@ -209,7 +266,7 @@ class TemporalDatabase:
             "initial plan:",
             initial_plan.pretty(),
             "",
-            f"plans enumerated: {optimization.plans_considered}",
+            f"plans considered: {optimization.plans_considered}",
             f"estimated cost: initial={optimization.initial_cost.total:.1f} "
             f"chosen={optimization.chosen_cost.total:.1f} "
             f"(improvement {optimization.improvement_factor:.2f}x)",

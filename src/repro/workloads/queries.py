@@ -1,0 +1,177 @@
+"""Named benchmark/oracle queries over the paper's example schema.
+
+Each entry pairs an initial algebra plan (the shape the temporal SQL front
+end would produce: everything computed in the DBMS, transferred to the
+stratum, output operators on top) with its Definition 5.1 result
+specification.  The registry serves two consumers:
+
+* the memo-vs-exhaustive *agreement tests* in
+  ``tests/test_search_agreement.py``: every query marked
+  ``fully_enumerable`` is small enough for :func:`repro.core.enumeration.enumerate_plans`
+  to close without truncating, so the memo search's best cost can be checked
+  against the exhaustive minimum exactly;
+* the performance benchmarks, which scale :func:`chained_query` past the
+  point where the exhaustive enumerator truncates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple as PyTuple
+
+from ..core.expressions import AttributeRef, Comparison, ComparisonOperator, Literal
+from ..core.operations import (
+    BaseRelation,
+    Coalescing,
+    Difference,
+    DuplicateElimination,
+    Operation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TemporalUnion,
+    TransferToStratum,
+    UnionAll,
+)
+from ..core.order_spec import OrderSpec
+from ..core.query import QueryResultSpec
+from .examples import EMPLOYEE_SCHEMA, PROJECT_SCHEMA
+
+#: An initial plan paired with its result specification.
+PlanAndSpec = PyTuple[Operation, QueryResultSpec]
+
+
+def _employee_names() -> Operation:
+    return Projection(["EmpName", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
+
+
+def _project_names() -> Operation:
+    return Projection(["EmpName", "T1", "T2"], BaseRelation("PROJECT", PROJECT_SCHEMA))
+
+
+def _output_stage(body: Operation, order: OrderSpec) -> Operation:
+    return TransferToStratum(Sort(order, Coalescing(TemporalDuplicateElimination(body))))
+
+
+def paper_query() -> PlanAndSpec:
+    """The motivating query of Figure 1/2: employees in a department but on no project."""
+    difference = TemporalDifference(TemporalDuplicateElimination(_employee_names()), _project_names())
+    order = OrderSpec.ascending("EmpName")
+    return _output_stage(difference, order), QueryResultSpec.list(order, distinct=True)
+
+
+def paper_query_multiset() -> PlanAndSpec:
+    """The motivating query's plan under a bare (multiset) result specification."""
+    plan, _ = paper_query()
+    return plan, QueryResultSpec.multiset()
+
+
+def paper_query_set() -> PlanAndSpec:
+    """The motivating query's plan under a DISTINCT-only (set) specification."""
+    plan, _ = paper_query()
+    return plan, QueryResultSpec.set()
+
+
+def chained_query(operations: int) -> PlanAndSpec:
+    """``operations`` temporal set operations chained below the output stage.
+
+    The plan-space growth workload of the enumeration benchmarks: the
+    exhaustive enumerator truncates on it from roughly six chained
+    operations at its default budgets, while the memo search still closes.
+    """
+    current: Operation = TemporalDuplicateElimination(_employee_names())
+    for index in range(operations):
+        other = _project_names()
+        if index % 2 == 0:
+            current = TemporalDifference(current, other)
+        else:
+            current = TemporalUnion(current, other)
+    order = OrderSpec.ascending("EmpName")
+    return _output_stage(current, order), QueryResultSpec.list(order, distinct=True)
+
+
+def double_elimination_query() -> PlanAndSpec:
+    """Duplicate eliminations on both difference arguments.
+
+    The right-hand ``rdupT`` is removable (D4) only because the left argument
+    provably has duplicate-free snapshots — the context-sensitive corner of
+    the Figure 5 conditions.
+    """
+    difference = TemporalDifference(
+        TemporalDuplicateElimination(_employee_names()),
+        TemporalDuplicateElimination(_project_names()),
+    )
+    order = OrderSpec.ascending("EmpName")
+    return _output_stage(difference, order), QueryResultSpec.list(order, distinct=True)
+
+
+def selection_query() -> PlanAndSpec:
+    """A selection over a sorted projection (push-down territory)."""
+    predicate = Comparison(ComparisonOperator.EQ, AttributeRef("Dept"), Literal("Sales"))
+    body = Selection(
+        predicate,
+        Projection(["EmpName", "Dept", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA)),
+    )
+    order = OrderSpec.ascending("EmpName")
+    plan = TransferToStratum(Sort(order, body))
+    return plan, QueryResultSpec.list(order)
+
+
+def snapshot_except_query() -> PlanAndSpec:
+    """A conventional (snapshot) EXCEPT with rdup and sort on top.
+
+    Exercises the conventional difference, whose cardinality estimate is
+    *not* monotone in its right input — the case the extraction's
+    per-cardinality frontiers exist for.
+    """
+    left = Projection(["EmpName"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
+    right = Projection(["EmpName"], BaseRelation("PROJECT", PROJECT_SCHEMA))
+    body = DuplicateElimination(Difference(left, right))
+    order = OrderSpec.ascending("EmpName")
+    return TransferToStratum(Sort(order, body)), QueryResultSpec.list(order, distinct=True)
+
+
+def union_all_query() -> PlanAndSpec:
+    """A conventional UNION ALL with an outer duplicate elimination."""
+    body = DuplicateElimination(UnionAll(_employee_names(), _project_names()))
+    return TransferToStratum(body), QueryResultSpec.set()
+
+
+def temporal_union_query() -> PlanAndSpec:
+    """A temporal union, coalesced, under a multiset specification."""
+    body = Coalescing(TemporalUnion(_employee_names(), _project_names()))
+    return TransferToStratum(body), QueryResultSpec(coalesced=True)
+
+
+@dataclass(frozen=True)
+class NamedQuery:
+    """A registry entry: a query constructor plus oracle metadata."""
+
+    name: str
+    build: Callable[[], PlanAndSpec]
+    #: True when the exhaustive enumerator closes the plan space without
+    #: truncating at its default budgets, making it usable as an oracle.
+    fully_enumerable: bool = True
+
+
+WORKLOAD_QUERIES: PyTuple[NamedQuery, ...] = (
+    NamedQuery("paper", paper_query),
+    NamedQuery("paper-multiset", paper_query_multiset),
+    NamedQuery("paper-set", paper_query_set),
+    NamedQuery("double-elimination", double_elimination_query),
+    NamedQuery("selection", selection_query),
+    NamedQuery("snapshot-except", snapshot_except_query),
+    NamedQuery("union-all", union_all_query),
+    NamedQuery("temporal-union", temporal_union_query),
+    NamedQuery("chain-2", lambda: chained_query(2)),
+    NamedQuery("chain-3", lambda: chained_query(3)),
+    NamedQuery("chain-4", lambda: chained_query(4)),
+    NamedQuery("chain-6", lambda: chained_query(6), fully_enumerable=False),
+)
+
+
+def fully_enumerable_queries() -> List[NamedQuery]:
+    """The registry entries small enough to enumerate exhaustively."""
+    return [query for query in WORKLOAD_QUERIES if query.fully_enumerable]

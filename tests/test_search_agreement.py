@@ -1,0 +1,66 @@
+"""Memo search vs. exhaustive enumeration: the oracle agreement tests.
+
+For every workload query small enough to enumerate exhaustively, the memo
+search must find exactly the minimum cost over the full enumerated plan
+space — pruning and structure sharing may never lose the optimum.  The
+chosen plans are additionally executed and checked against Definition 5.1.
+"""
+
+import pytest
+
+from repro.core.applicability import results_acceptable
+from repro.core.cost import choose_best_plan, estimate_cost
+from repro.core.enumeration import enumerate_plans
+from repro.core.operations.base import EvaluationContext
+from repro.search import search_best_plan
+from repro.workloads import (
+    employee_relation,
+    fully_enumerable_queries,
+    project_relation,
+)
+
+STATISTICS = {"EMPLOYEE": 5, "PROJECT": 8}
+
+QUERIES = fully_enumerable_queries()
+
+
+@pytest.mark.parametrize("named", QUERIES, ids=[query.name for query in QUERIES])
+class TestAgreementWithExhaustiveEnumeration:
+    def test_best_cost_matches_exhaustive_minimum(self, named):
+        plan, spec = named.build()
+        enumeration = enumerate_plans(plan, spec, max_plans=60000)
+        assert not enumeration.statistics.truncated, "query is not fully enumerable"
+        _, exhaustive_cost = choose_best_plan(enumeration.plans, STATISTICS)
+        result = search_best_plan(plan, spec, statistics=STATISTICS)
+        assert result.best_cost.total == pytest.approx(exhaustive_cost.total, rel=1e-12)
+
+    def test_best_plan_is_in_the_exhaustive_closure(self, named):
+        plan, spec = named.build()
+        enumeration = enumerate_plans(plan, spec, max_plans=60000)
+        result = search_best_plan(plan, spec, statistics=STATISTICS)
+        # O(1) membership thanks to the signature index of EnumerationResult.
+        assert result.best_plan in enumeration
+
+    def test_chosen_plan_satisfies_definition_51(self, named):
+        plan, spec = named.build()
+        context = EvaluationContext(
+            {"EMPLOYEE": employee_relation(), "PROJECT": project_relation()}
+        )
+        reference = plan.evaluate(context)
+        result = search_best_plan(plan, spec, statistics=STATISTICS)
+        produced = result.best_plan.evaluate(context)
+        assert results_acceptable(reference, produced, spec), result.best_plan.pretty()
+
+    def test_reported_cost_is_the_plans_estimated_cost(self, named):
+        plan, spec = named.build()
+        result = search_best_plan(plan, spec, statistics=STATISTICS)
+        recomputed = estimate_cost(result.best_plan, STATISTICS)
+        assert result.best_cost.total == pytest.approx(recomputed.total)
+
+    def test_memo_considers_fewer_plans_than_exhaustive_generates(self, named):
+        plan, spec = named.build()
+        enumeration = enumerate_plans(plan, spec, max_plans=60000)
+        if len(enumeration) < 100:
+            pytest.skip("sharing only pays off once the plan space fans out")
+        result = search_best_plan(plan, spec, statistics=STATISTICS)
+        assert result.statistics.plans_considered < len(enumeration)

@@ -1,0 +1,141 @@
+"""Unit tests for the memo table and the task-driven exploration."""
+
+from repro.core.operations import (
+    BaseRelation,
+    Coalescing,
+    Projection,
+    Sort,
+    TemporalDifference,
+    TemporalDuplicateElimination,
+    TransferToStratum,
+)
+from repro.core.order_spec import OrderSpec
+from repro.core.properties import root_properties
+from repro.core.query import QueryResultSpec
+from repro.core.rules import DEFAULT_RULES, rules_by_name
+from repro.search import Memo, search_best_plan
+from repro.search.memo import binding_feature
+from repro.search.tasks import explore
+from repro.workloads import EMPLOYEE_SCHEMA, PROJECT_SCHEMA, paper_query
+
+LIST_QUERY = QueryResultSpec.list(OrderSpec.ascending("EmpName"), distinct=True)
+
+
+def employee_names():
+    return Projection(["EmpName", "T1", "T2"], BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA))
+
+
+def project_names():
+    return Projection(["EmpName", "T1", "T2"], BaseRelation("PROJECT", PROJECT_SCHEMA))
+
+
+class TestMemoInterning:
+    def test_identical_subtrees_share_one_group(self):
+        memo = Memo()
+        context = root_properties(QueryResultSpec.multiset())
+        first = memo.copy_in(employee_names(), context)
+        second = memo.copy_in(employee_names(), context)
+        assert first == second
+
+    def test_interning_is_recursive(self):
+        memo = Memo()
+        context = root_properties(QueryResultSpec.multiset())
+        memo.copy_in(TemporalDifference(employee_names(), project_names()), context)
+        # Groups: difference, two projections, two base relations — the two
+        # projection shapes differ (EMPLOYEE vs PROJECT), so nothing merges.
+        assert len(memo.groups) == 5
+
+    def test_contexts_separate_groups(self):
+        memo = Memo()
+        plan = TemporalDuplicateElimination(employee_names())
+        context = root_properties(LIST_QUERY)
+        memo.copy_in(plan, context)
+        # The projection below the rdupT lives in a duplicates-irrelevant
+        # context; interning the same subtree at root context adds groups.
+        before = len(memo.groups)
+        memo.copy_in(employee_names(), context)
+        assert len(memo.groups) > before
+
+    def test_witnesses_recorded(self):
+        memo = Memo()
+        context = root_properties(LIST_QUERY)
+        root_id = memo.copy_in(TemporalDuplicateElimination(employee_names()), context)
+        root_group = memo.group(root_id)
+        assert root_group.no_snapshot_duplicates_witness is not None
+        assert root_group.no_duplicates_witness is not None  # rdupT eliminates
+        child_group = memo.group(root_group.expressions[0].children[0])
+        assert child_group.no_duplicates_witness is None  # π over a base relation
+        assert child_group.no_snapshot_duplicates_witness is None
+
+    def test_rewrite_lands_in_the_same_group(self):
+        memo = Memo()
+        plan = TemporalDuplicateElimination(TemporalDuplicateElimination(employee_names()))
+        context = root_properties(LIST_QUERY)
+        root = memo.copy_in(plan, context)
+        rules = [rules_by_name()["DT-idem"]]
+        explore(memo, root, rules)
+        group = memo.group(root)
+        assert len(group.expressions) == 2
+        shells = {type(expression.shell).__name__ for expression in group.expressions}
+        assert shells == {"TemporalDuplicateElimination"}
+
+    def test_binding_feature_distinguishes_guarantees(self):
+        plain = employee_names()
+        deduplicated = TemporalDuplicateElimination(plain)
+        assert binding_feature(plain) != binding_feature(deduplicated)
+
+
+class TestExplorationSharing:
+    def test_shared_subplan_rewritten_once(self):
+        plan, spec = paper_query()
+        result = search_best_plan(plan, spec, statistics={"EMPLOYEE": 5, "PROJECT": 8})
+        statistics = result.statistics
+        # The memo considers far fewer fragments than the exhaustive space
+        # holds plans (126 for this query), yet finds its minimum cost.
+        assert statistics.plans_considered < 126
+        assert statistics.groups > 5
+        assert statistics.applications_succeeded > 0
+        assert not statistics.truncated
+
+    def test_statistics_mirror_enumeration_statistics(self):
+        plan, spec = paper_query()
+        result = search_best_plan(plan, spec, statistics={"EMPLOYEE": 5, "PROJECT": 8})
+        statistics = result.statistics
+        assert statistics.applications_attempted >= statistics.applications_succeeded
+        assert statistics.rejected_by_properties > 0
+        assert statistics.rule_usage
+        assert statistics.sweeps >= 1
+
+    def test_rule_order_does_not_change_the_best_cost(self):
+        plan, spec = paper_query()
+        stats = {"EMPLOYEE": 5, "PROJECT": 8}
+        forward = search_best_plan(plan, spec, rules=list(DEFAULT_RULES), statistics=stats)
+        backward = search_best_plan(
+            plan, spec, rules=list(reversed(DEFAULT_RULES)), statistics=stats
+        )
+        assert forward.best_cost.total == backward.best_cost.total
+
+    def test_truncation_budget_respected(self):
+        from repro.search import SearchOptions
+
+        plan, spec = paper_query()
+        result = search_best_plan(
+            plan,
+            spec,
+            statistics={"EMPLOYEE": 5, "PROJECT": 8},
+            options=SearchOptions(max_expressions=12),
+        )
+        assert result.statistics.truncated
+        # A truncated search still returns a valid plan, no worse than the seed.
+        seed_result = search_best_plan(plan, spec, rules=[], statistics={"EMPLOYEE": 5, "PROJECT": 8})
+        assert result.best_cost.total <= seed_result.best_cost.total
+
+
+class TestSearchDeterminism:
+    def test_same_inputs_same_plan(self):
+        plan, spec = paper_query()
+        stats = {"EMPLOYEE": 5, "PROJECT": 8}
+        first = search_best_plan(plan, spec, statistics=stats)
+        second = search_best_plan(plan, spec, statistics=stats)
+        assert first.best_plan == second.best_plan
+        assert first.best_cost.total == second.best_cost.total
