@@ -10,6 +10,16 @@ coalescing.  This package implements that foundation end to end:
     the transformation-rule catalogue, the Table 2 operation properties, the
     plan enumeration algorithm, and a cost model for plan selection.
 
+``repro.search``
+    the memo-based, cost-guided plan search (the default optimizer): shared
+    equivalence groups, task-driven exploration, branch-and-bound extraction.
+
+``repro.stats``
+    statistics collection and cardinality estimation: per-table equi-depth
+    and valid-time interval histograms, distinct-count estimation, the
+    plan-walking ``CardinalityEstimator`` feeding both optimizers, and
+    calibration of the cost model's engine constants from measured timings.
+
 ``repro.dbms``
     a conventional (multiset-semantics) in-memory DBMS substrate: catalog,
     iterator-based executor, its own optimizer and a SQL generator for plan

@@ -12,7 +12,9 @@ quantitatively in the benchmarks.
 The model is deliberately simple and transparent:
 
 * cardinalities are estimated bottom-up from catalog statistics with fixed
-  selectivities (overridable per query);
+  selectivities (overridable per query) — or, when an *estimator* from
+  :mod:`repro.stats` is supplied, from per-attribute histograms and interval
+  histograms over valid-time periods, with the fixed constants as fallback;
 * each operator contributes work proportional to the tuples it consumes and
   produces, with an ``n log n`` term for sorting and pairwise terms for the
   products and the value-matching temporal operations;
@@ -70,7 +72,16 @@ class CostModel:
     the stratum (the paper's assumption); ``dbms_temporal_penalty`` > 1
     models the inefficiency of emulating temporal operations in a
     conventional engine; ``transfer_cost`` is the per-tuple cost of a
-    ``TS``/``TD`` shipment between the engines.
+    ``TS``/``TD`` shipment between the engines.  These three engine
+    constants can be *fitted from measured executor timings* with
+    :func:`repro.stats.calibrate_cost_model` instead of guessed.
+
+    ``selectivity`` and ``overlap_fraction`` are the global fallbacks used
+    when no estimator is supplied; pass a
+    :class:`repro.stats.estimator.CardinalityEstimator` to any costing entry
+    point to replace them with per-predicate histogram selectivities and a
+    data-driven temporal overlap fraction (the constants still apply to
+    predicates the histograms cannot resolve).
     """
 
     selectivity: float = DEFAULT_SELECTIVITY
@@ -101,22 +112,61 @@ class Engine:
     DBMS = "dbms"
 
 
+# Every costing entry point accepts an optional *estimator* — duck-typed so
+# this module stays free of a dependency on :mod:`repro.stats`:
+#
+# ``base_cardinality(name, fallback=None) -> float``
+#     cardinality of a base relation; ``fallback`` is the caller's
+#     plain-statistics value (preferred over the estimator's default when the
+#     table has no profile, and the estimator records such tables);
+# ``operator_cardinality(node, child_cardinalities) -> Optional[float]``
+#     data-driven output estimate for one operator, or ``None`` to fall back
+#     to the fixed-constant model below.
+#
+# An estimator's per-operator estimates must depend only on the node's own
+# parameters and the input cardinalities (the memo search costs operator
+# shells, not subtrees) and must be monotone in the input cardinalities (the
+# branch-and-bound lower bounds rely on it).
+
+
+def _node_output(
+    node: Operation,
+    child_estimates: Sequence[float],
+    statistics: Mapping[str, int],
+    model: CostModel,
+    estimator=None,
+) -> float:
+    """Output-cardinality estimate of one node, estimator first, constants after."""
+    if isinstance(node, BaseRelation):
+        if estimator is not None:
+            return float(
+                estimator.base_cardinality(
+                    node.relation_name, statistics.get(node.relation_name)
+                )
+            )
+        return float(statistics.get(node.relation_name, model.default_base_cardinality))
+    if isinstance(node, LiteralRelation):
+        return float(len(node.relation))
+    if estimator is not None:
+        estimate = estimator.operator_cardinality(node, child_estimates)
+        if estimate is not None:
+            return float(estimate)
+    return _estimate_operator(node, child_estimates, model)
+
+
 def estimate_cardinality(
     plan: Operation,
     statistics: Optional[Mapping[str, int]] = None,
     model: Optional[CostModel] = None,
+    estimator=None,
 ) -> float:
     """Estimate the result cardinality of ``plan`` from base-table statistics."""
     model = model or CostModel()
     statistics = statistics or {}
 
     def estimate(node: Operation) -> float:
-        if isinstance(node, BaseRelation):
-            return float(statistics.get(node.relation_name, model.default_base_cardinality))
-        if isinstance(node, LiteralRelation):
-            return float(len(node.relation))
         child_estimates = [estimate(child) for child in node.children]
-        return _estimate_operator(node, child_estimates, model)
+        return _node_output(node, child_estimates, statistics, model, estimator)
 
     return estimate(plan)
 
@@ -200,15 +250,11 @@ def operator_cardinality(
     child_cardinalities: Sequence[float],
     statistics: Optional[Mapping[str, int]] = None,
     model: Optional[CostModel] = None,
+    estimator=None,
 ) -> float:
     """Estimated output cardinality of one operator given its input estimates."""
     model = model or CostModel()
-    if isinstance(node, BaseRelation):
-        statistics = statistics or {}
-        return float(statistics.get(node.relation_name, model.default_base_cardinality))
-    if isinstance(node, LiteralRelation):
-        return float(len(node.relation))
-    return _estimate_operator(node, child_cardinalities, model)
+    return _node_output(node, child_cardinalities, statistics or {}, model, estimator)
 
 
 def operator_work(
@@ -243,6 +289,7 @@ def estimate_cost(
     statistics: Optional[Mapping[str, int]] = None,
     model: Optional[CostModel] = None,
     engine: str = Engine.STRATUM,
+    estimator=None,
 ) -> PlanCost:
     """Estimate the execution cost of ``plan``.
 
@@ -268,12 +315,7 @@ def estimate_cost(
             cost, cardinality = visit(child, child_engine)
             child_costs.append(cost)
             child_cards.append(cardinality)
-        if isinstance(node, BaseRelation):
-            output = float(statistics.get(node.relation_name, model.default_base_cardinality))
-        elif isinstance(node, LiteralRelation):
-            output = float(len(node.relation))
-        else:
-            output = _estimate_operator(node, child_cards, model)
+        output = _node_output(node, child_cards, statistics, model, estimator)
         work = _operator_work(node, child_cards, output, model) * _engine_factor(node, engine, model)
         breakdown.append((node.label(), engine, work))
         return sum(child_costs) + work, output
@@ -282,10 +324,57 @@ def estimate_cost(
     return PlanCost(total=total, output_cardinality=output, breakdown=list(reversed(breakdown)))
 
 
+def measure_cost(
+    plan: Operation,
+    context,
+    model: Optional[CostModel] = None,
+    engine: str = Engine.STRATUM,
+) -> PlanCost:
+    """The cost model evaluated at the plan's *actual* cardinalities.
+
+    Each subtree is evaluated once (bottom-up, sharing child results) against
+    ``context`` — an :class:`~repro.core.operations.base.EvaluationContext`
+    binding the base relations — and every operator is charged
+    :func:`_operator_work` at the true input/output sizes with its engine
+    factor.  This is the deterministic "measured executor cost" the q-error
+    and plan-quality benchmarks compare estimates and plan choices against;
+    unlike wall-clock timings it is stable across machines and runs.
+    """
+    model = model or CostModel()
+    breakdown: List[PyTuple[str, str, float]] = []
+
+    def visit(node: Operation, engine: str) -> PyTuple[float, "object"]:
+        child_engine = engine
+        if isinstance(node, TransferToStratum):
+            child_engine = Engine.DBMS
+        elif isinstance(node, TransferToDBMS):
+            child_engine = Engine.STRATUM
+        child_costs: List[float] = []
+        child_results = []
+        for child in node.children:
+            cost, result = visit(child, child_engine)
+            child_costs.append(cost)
+            child_results.append(result)
+        result = node._evaluate(child_results, context)
+        inputs = [float(len(child)) for child in child_results]
+        output = float(len(result))
+        work = _operator_work(node, inputs, output, model) * _engine_factor(node, engine, model)
+        breakdown.append((node.label(), engine, work))
+        return sum(child_costs) + work, result
+
+    total, result = visit(plan, engine)
+    return PlanCost(
+        total=total,
+        output_cardinality=float(len(result)),
+        breakdown=list(reversed(breakdown)),
+    )
+
+
 def choose_best_plan(
     plans: Iterable[Operation],
     statistics: Optional[Mapping[str, int]] = None,
     model: Optional[CostModel] = None,
+    estimator=None,
 ) -> PyTuple[Operation, PlanCost]:
     """Pick the cheapest plan among ``plans`` under the cost model.
 
@@ -294,7 +383,7 @@ def choose_best_plan(
     """
     best: Optional[PyTuple[Operation, PlanCost]] = None
     for plan in plans:
-        cost = estimate_cost(plan, statistics, model)
+        cost = estimate_cost(plan, statistics, model, estimator=estimator)
         if best is None:
             best = (plan, cost)
             continue

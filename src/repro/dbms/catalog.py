@@ -2,37 +2,102 @@
 
 The catalog maps table names to stored tables; each table holds its schema,
 its rows (as a list-based :class:`~repro.core.relation.Relation`), an
-optional clustering order, and the statistics (cardinality, distinct counts)
-that the optimizers and the cost model consume.
+optional clustering order, and the statistics (cardinality, distinct counts,
+histogram and period summaries) that the optimizers and the cost model
+consume.
+
+Statistics are maintained *incrementally*: ``insert`` feeds only the new
+batch into :meth:`TableStatistics.observe` (cardinality and the per-attribute
+distinct-value sets update in O(batch)), while the heavier summaries — the
+equi-depth histograms, the valid-time period histogram and the duplication
+ratios of :class:`repro.stats.estimator.TableProfile` — are rebuilt lazily
+from the accumulated rows the first time they are read after a change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from ..core.exceptions import CatalogError, SchemaError
 from ..core.order_spec import OrderSpec
 from ..core.relation import Relation
 from ..core.schema import RelationSchema
 from ..core.tuples import Tuple
+from ..stats.estimator import CardinalityEstimator, TableProfile
+from ..stats.histograms import EquiDepthHistogram, PeriodHistogram
 
 
-@dataclass
 class TableStatistics:
-    """Statistics maintained per stored table."""
+    """Statistics maintained per stored table, updated batch-incrementally.
 
-    cardinality: int = 0
-    distinct_values: Dict[str, int] = field(default_factory=dict)
+    The object keeps its own accumulated row feed (``Tuple`` references
+    shared with the owning table, not copies) so it stays usable standalone
+    — ``from_relation`` plus ``observe`` — and can rebuild its lazy profile
+    without asking the table back for its data; callers that do hold the
+    current relation can pass it to :meth:`profile` to skip the rebuild's
+    relation construction.
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self.cardinality = 0
+        self._value_sets: Dict[str, Set] = {a: set() for a in schema.attributes}
+        self._rows: List[Tuple] = []
+        self._profile: Optional[TableProfile] = None
 
     @classmethod
     def from_relation(cls, relation: Relation) -> "TableStatistics":
         """Compute statistics for a relation instance."""
-        distinct = {
-            attribute: len({tup[attribute] for tup in relation})
-            for attribute in relation.schema.attributes
-        }
-        return cls(cardinality=len(relation), distinct_values=distinct)
+        statistics = cls(relation.schema)
+        statistics.observe(relation.tuples)
+        return statistics
+
+    @property
+    def distinct_values(self) -> Dict[str, int]:
+        """Exact distinct count per attribute (incrementally maintained)."""
+        return {attribute: len(values) for attribute, values in self._value_sets.items()}
+
+    def observe(self, tuples: Iterable[Tuple]) -> int:
+        """Fold a batch of new tuples into the statistics; returns batch size."""
+        added = 0
+        for tup in tuples:
+            self._rows.append(tup)
+            for attribute, values in self._value_sets.items():
+                values.add(tup[attribute])
+            added += 1
+        if added:
+            self.cardinality += added
+            self._profile = None
+        return added
+
+    def profile(
+        self, name: Optional[str] = None, relation: Optional[Relation] = None
+    ) -> TableProfile:
+        """The table's histogram/period/ratio summary (rebuilt lazily).
+
+        ``relation`` lets a caller that already holds the current rows (the
+        owning :class:`Table`) avoid re-materialising them for the rebuild.
+        """
+        if name is None:
+            name = self.schema.name or ""
+        if self._profile is None:
+            if relation is None:
+                relation = Relation(self.schema, tuple(self._rows))
+            self._profile = TableProfile.from_relation(name, relation)
+        elif self._profile.name != name:
+            # Same data under a different label: relabel the cached profile
+            # instead of rebuilding the histograms.
+            self._profile = replace(self._profile, name=name)
+        return self._profile
+
+    def histogram(self, attribute: str) -> EquiDepthHistogram:
+        """Equi-depth histogram over one attribute's current values."""
+        return self.profile().attributes[attribute].histogram
+
+    def period_histogram(self) -> Optional[PeriodHistogram]:
+        """Interval histogram over the stored valid-time periods (or None)."""
+        return self.profile().period
 
 
 class Table:
@@ -69,18 +134,22 @@ class Table:
         return len(self._relation)
 
     def insert(self, rows: Iterable[Sequence]) -> int:
-        """Append rows (given in schema attribute order); returns how many."""
+        """Append rows (given in schema attribute order); returns how many.
+
+        Statistics update incrementally from the new batch alone — the stored
+        relation is not rescanned.
+        """
         new_tuples: List[Tuple] = list(self._relation.tuples)
-        added = 0
+        batch: List[Tuple] = []
         for row in rows:
-            new_tuples.append(Tuple.from_sequence(self.schema, row))
-            added += 1
+            batch.append(Tuple.from_sequence(self.schema, row))
+        new_tuples.extend(batch)
         self._relation = Relation(self.schema, new_tuples, order=OrderSpec.unordered())
-        self.statistics = TableStatistics.from_relation(self._relation)
-        return added
+        self.statistics.observe(batch)
+        return len(batch)
 
     def replace(self, relation: Relation) -> None:
-        """Replace the stored rows wholesale."""
+        """Replace the stored rows wholesale (statistics restart from scratch)."""
         if relation.schema != self.schema:
             raise SchemaError(
                 f"replacement rows for {self.name!r} have schema {relation.schema}, "
@@ -88,6 +157,10 @@ class Table:
             )
         self._relation = Relation(self.schema, relation.tuples, order=relation.order)
         self.statistics = TableStatistics.from_relation(self._relation)
+
+    def profile(self) -> TableProfile:
+        """The table's collected statistics as a :class:`TableProfile`."""
+        return self.statistics.profile(self.name, relation=self._relation)
 
 
 class Catalog:
@@ -134,3 +207,11 @@ class Catalog:
     def statistics(self) -> Mapping[str, int]:
         """Cardinality per table, for the cost model."""
         return {name: table.cardinality for name, table in self._tables.items()}
+
+    def profiles(self) -> Dict[str, TableProfile]:
+        """Histogram/period/ratio summaries for every stored table."""
+        return {name: table.profile() for name, table in self._tables.items()}
+
+    def estimator(self, **kwargs) -> CardinalityEstimator:
+        """A histogram-backed cardinality estimator over the current contents."""
+        return CardinalityEstimator(self.profiles(), **kwargs)

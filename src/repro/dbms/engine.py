@@ -39,13 +39,23 @@ class ConventionalDBMS:
     By default the engine's own optimization is the cost-guided memo search
     over its catalog statistics (:class:`CostGuidedConventionalOptimizer`);
     pass a :class:`ConventionalOptimizer` to fall back to the purely
-    heuristic fixpoint rewriter.
+    heuristic fixpoint rewriter.  With ``use_statistics=True`` the fragment
+    costing additionally consumes the catalog's histogram-backed
+    :class:`~repro.stats.estimator.CardinalityEstimator` instead of the
+    fixed selectivity constants.
     """
 
-    def __init__(self, optimizer=None) -> None:
+    def __init__(self, optimizer=None, use_statistics: bool = False) -> None:
+        if optimizer is not None and use_statistics:
+            raise ValueError(
+                "use_statistics only wires the default optimizer; give your "
+                "optimizer an estimator_provider instead"
+            )
         self.catalog = Catalog()
+        self.use_statistics = use_statistics
         self._optimizer = optimizer or CostGuidedConventionalOptimizer(
-            statistics_provider=self.catalog.statistics
+            statistics_provider=self.catalog.statistics,
+            estimator_provider=self.catalog.estimator if use_statistics else None,
         )
 
     # -- data definition ---------------------------------------------------------
@@ -71,6 +81,10 @@ class ConventionalDBMS:
     def statistics(self) -> Mapping[str, int]:
         """Cardinality per table (consumed by the stratum's cost model)."""
         return self.catalog.statistics()
+
+    def estimator(self, **kwargs):
+        """A histogram-backed estimator over the current catalog contents."""
+        return self.catalog.estimator(**kwargs)
 
     # -- querying -----------------------------------------------------------------
 

@@ -151,12 +151,18 @@ class CostGuidedConventionalOptimizer:
         rules: Optional[Sequence[TransformationRule]] = None,
         cost_model: Optional[CostModel] = None,
         statistics_provider: Optional[Callable[[], Mapping[str, int]]] = None,
+        estimator_provider: Optional[Callable[[], object]] = None,
     ) -> None:
         self._rules: List[TransformationRule] = (
             list(rules) if rules is not None else _multiset_safe_rules()
         )
         self._cost_model = cost_model or CostModel()
         self._statistics_provider = statistics_provider
+        #: Optional zero-argument callable producing a
+        #: :class:`repro.stats.estimator.CardinalityEstimator` over the
+        #: engine's *current* catalog contents — called per optimization so
+        #: fragment costing always sees fresh histograms.
+        self._estimator_provider = estimator_provider
 
     @property
     def rules(self) -> Sequence[TransformationRule]:
@@ -173,10 +179,12 @@ class CostGuidedConventionalOptimizer:
             QueryResultSpec.list(order) if order else QueryResultSpec.multiset()
         )
         statistics = self._statistics_provider() if self._statistics_provider else None
+        estimator = self._estimator_provider() if self._estimator_provider else None
         search = MemoSearch(
             rules=self._rules,
             cost_model=self._cost_model,
             options=SearchOptions(max_expressions=600, max_sweeps=6),
             root_engine=Engine.DBMS,
+            estimator=estimator,
         ).optimize(plan, specification, statistics)
         return search.best_plan

@@ -150,10 +150,12 @@ class _Extractor:
         model: CostModel,
         search_statistics: SearchStatistics,
         upper_bound: float,
+        estimator=None,
     ) -> None:
         self.memo = memo
         self.statistics_map = statistics_map
         self.model = model
+        self.estimator = estimator
         self.stats = search_statistics
         self.upper_bound = upper_bound
         self._frontiers: Dict[PyTuple[int, str], List[_Entry]] = {}
@@ -189,7 +191,8 @@ class _Extractor:
         child_cost = sum(bound[0] for bound in child_bounds)
         child_cards = [bound[1] for bound in child_bounds]
         output = operator_cardinality(
-            expression.shell, child_cards, self.statistics_map, self.model
+            expression.shell, child_cards, self.statistics_map, self.model,
+            estimator=self.estimator,
         )
         # Operator *work* is monotone in the input cardinalities even where
         # the cardinality estimate is not, so under-estimated inputs give an
@@ -240,7 +243,8 @@ class _Extractor:
             for combo in _combinations(child_frontiers):
                 cards = [entry.cardinality for entry in combo]
                 output = operator_cardinality(
-                    expression.shell, cards, self.statistics_map, self.model
+                    expression.shell, cards, self.statistics_map, self.model,
+                    estimator=self.estimator,
                 )
                 work = operator_work(expression.shell, cards, output, engine, self.model)
                 cost = sum(entry.cost for entry in combo) + work
@@ -279,12 +283,17 @@ class MemoSearch:
         cost_model: Optional[CostModel] = None,
         options: Optional[SearchOptions] = None,
         root_engine: str = Engine.STRATUM,
+        estimator=None,
     ) -> None:
         self.rules: Sequence[TransformationRule] = (
             tuple(rules) if rules is not None else DEFAULT_RULES
         )
         self.cost_model = cost_model or CostModel()
         self.options = options or SearchOptions()
+        #: Optional histogram-backed cardinality estimator (see
+        #: :mod:`repro.stats`); replaces the fixed selectivity/overlap
+        #: constants wherever it can resolve a predicate or operator.
+        self.estimator = estimator
         #: Engine executing the plan root — the stratum for whole queries,
         #: the DBMS when optimizing a fragment on the DBMS's behalf.
         self.root_engine = root_engine
@@ -316,17 +325,20 @@ class MemoSearch:
         )
 
         seed_cost = estimate_cost(
-            seed, statistics_map, self.cost_model, engine=self.root_engine
+            seed, statistics_map, self.cost_model, engine=self.root_engine,
+            estimator=self.estimator,
         )
         upper_bound = seed_cost.total * self.options.upper_bound_slack + 1e-9
         extractor = _Extractor(
-            memo, statistics_map, self.cost_model, search_statistics, upper_bound
+            memo, statistics_map, self.cost_model, search_statistics, upper_bound,
+            estimator=self.estimator,
         )
         frontier = extractor.frontier(memo.find(root), self.root_engine)
         if frontier:
             best_plan = frontier[0].build()
             best_cost = estimate_cost(
-                best_plan, statistics_map, self.cost_model, engine=self.root_engine
+                best_plan, statistics_map, self.cost_model, engine=self.root_engine,
+                estimator=self.estimator,
             )
             if best_cost.total > seed_cost.total:
                 best_plan, best_cost = seed, seed_cost
@@ -348,8 +360,9 @@ def search_best_plan(
     statistics: Optional[Mapping[str, int]] = None,
     cost_model: Optional[CostModel] = None,
     options: Optional[SearchOptions] = None,
+    estimator=None,
 ) -> SearchResult:
     """Convenience wrapper: one-shot memo search over ``initial_plan``."""
-    return MemoSearch(rules=rules, cost_model=cost_model, options=options).optimize(
-        initial_plan, query, statistics
-    )
+    return MemoSearch(
+        rules=rules, cost_model=cost_model, options=options, estimator=estimator
+    ).optimize(initial_plan, query, statistics)

@@ -1,0 +1,71 @@
+"""Distinct-count estimation: exact for small inputs, sampled for large.
+
+Duplicate elimination (``rdup``), temporal duplicate elimination (``rdupT``)
+and coalescing (``coalT``) shrink their input by a factor governed by how
+many *distinct* rows (or value-equivalent groups) it contains.  Computing
+that exactly is linear in the input — fine for the catalog sizes the tests
+use, wasteful once tables reach the scale the ROADMAP aims at.  This module
+therefore switches to a sample-based estimate beyond a size threshold, using
+the GEE estimator of Charikar et al. (``d_sample + (sqrt(n/r) - 1) * f1``
+with ``f1`` the number of sampled values seen exactly once), which is within
+a provable factor of the truth for any distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from math import sqrt
+from typing import Hashable, Sequence
+
+#: Inputs up to this size are counted exactly.
+DEFAULT_EXACT_THRESHOLD = 10_000
+#: Sample size used beyond the exact threshold.
+DEFAULT_SAMPLE_SIZE = 2_048
+#: Seed for the sampling RNG — estimation must be reproducible.
+DEFAULT_SEED = 0x5EED
+
+
+def exact_distinct(values: Sequence[Hashable]) -> int:
+    """The exact number of distinct values."""
+    return len(set(values))
+
+
+def estimate_distinct(
+    values: Sequence[Hashable],
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = DEFAULT_SEED,
+) -> float:
+    """Estimated number of distinct values in ``values``.
+
+    Exact (via a set) when ``len(values) <= exact_threshold``; otherwise the
+    GEE estimator over a uniform random sample of ``sample_size`` values.
+    The result is always within ``[1, len(values)]`` for non-empty input.
+    """
+    n = len(values)
+    if n == 0:
+        return 0.0
+    if n <= exact_threshold or sample_size >= n:
+        return float(len(set(values)))
+    rng = random.Random(seed)
+    sample = rng.sample(list(values), sample_size)
+    frequencies = Counter(sample)
+    singletons = sum(1 for count in frequencies.values() if count == 1)
+    estimate = len(frequencies) + (sqrt(n / sample_size) - 1.0) * singletons
+    return float(min(n, max(len(frequencies), estimate)))
+
+
+def distinct_ratio(
+    values: Sequence[Hashable],
+    exact_threshold: int = DEFAULT_EXACT_THRESHOLD,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = DEFAULT_SEED,
+) -> float:
+    """``estimate_distinct / len`` — the shrink factor duplicate removal gives."""
+    n = len(values)
+    if n == 0:
+        return 1.0
+    return min(
+        1.0, estimate_distinct(values, exact_threshold, sample_size, seed) / n
+    )

@@ -1,0 +1,554 @@
+"""Data-driven cardinality estimation over algebra plans.
+
+:class:`TableProfile` summarises one stored relation: per-attribute
+equi-depth histograms and distinct counts, an interval histogram over the
+valid-time periods, and the shrink ratios duplicate elimination and
+coalescing would achieve on it.  :class:`CardinalityEstimator` pools the
+profiles of all base tables and walks plans producing per-predicate
+selectivities and temporal overlap fractions — replacing the global
+constants in :mod:`repro.core.cost` (``DEFAULT_SELECTIVITY``,
+``DEFAULT_OVERLAP_FRACTION``), which remain as fallbacks for predicates and
+tables the profiles cannot resolve.
+
+The estimator deliberately answers per-operator questions from *pooled*
+(table-independent) summaries: the memo search costs operator shells whose
+children are equivalence groups, not concrete subtrees, so a per-node
+estimate may depend only on the operator's own parameters and its input
+cardinalities.  That restriction is what keeps the memo search's costing in
+exact agreement with costing whole plans — the agreement tests run with a
+histogram-backed estimator to pin that down.
+
+Every estimate is monotone in the input cardinalities (selectivities and
+ratios are clamped to ``[0, 1]`` and combined multiplicatively, group counts
+enter through ``min``), which the memo search's branch-and-bound lower
+bounds require for admissibility.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..core.cost import (
+    DEFAULT_BASE_CARDINALITY,
+    DEFAULT_SELECTIVITY,
+    CostModel,
+    operator_cardinality,
+)
+from ..core.expressions import (
+    And,
+    AttributeRef,
+    Comparison,
+    ComparisonOperator,
+    Expression,
+    Literal,
+    Not,
+    Or,
+)
+from ..core.operations import (
+    Aggregation,
+    BaseRelation,
+    Coalescing,
+    DuplicateElimination,
+    Join,
+    Operation,
+    Selection,
+    TemporalCartesianProduct,
+    TemporalDuplicateElimination,
+    TemporalJoin,
+)
+from ..core.operations.coalesce import coalesce_tuples
+from ..core.operations.duplicates import temporal_duplicate_elimination
+from ..core.period import T1, T2
+from ..core.relation import Relation
+from .distinct import estimate_distinct
+from .histograms import DEFAULT_BUCKETS, EquiDepthHistogram, PeriodHistogram
+
+#: Prefixes added by product schemas to disambiguate clashes ("1.", "2.", ...).
+_CLASH_PREFIX = re.compile(r"^(\d+\.)+")
+
+
+@dataclass(frozen=True)
+class AttributeStatistics:
+    """Summary of one attribute: value histogram plus distinct count."""
+
+    histogram: EquiDepthHistogram
+    distinct: float
+
+
+@dataclass(frozen=True)
+class TableProfile:
+    """The collected statistics of one stored relation."""
+
+    name: str
+    cardinality: int
+    attributes: Mapping[str, AttributeStatistics]
+    period: Optional[PeriodHistogram]
+    #: ``distinct full rows / cardinality`` — what ``rdup`` would keep.
+    row_distinct_ratio: float
+    #: ``distinct non-temporal value parts / cardinality``.
+    value_distinct_ratio: float
+    #: Fraction of tuples surviving coalescing (``coalT``: merging of
+    #: value-equivalent *adjacent* periods only, the paper's minimal form).
+    coalesced_fraction: float
+    #: Fraction of tuples surviving temporal duplicate elimination
+    #: (``rdupT``: snapshots made duplicate-free).
+    tdup_fraction: float
+
+    @classmethod
+    def from_relation(
+        cls, name: str, relation: Relation, buckets: int = DEFAULT_BUCKETS
+    ) -> "TableProfile":
+        """Profile a relation instance (exactly for small, sampled for large)."""
+        tuples = relation.tuples
+        n = len(tuples)
+        attributes: Dict[str, AttributeStatistics] = {}
+        for attribute in relation.schema.attributes:
+            values = [tup[attribute] for tup in tuples]
+            attributes[attribute] = AttributeStatistics(
+                histogram=EquiDepthHistogram.build(values, buckets=buckets),
+                distinct=estimate_distinct(values),
+            )
+        period = None
+        if relation.schema.is_temporal and n:
+            period = PeriodHistogram.build(
+                [(tup[T1], tup[T2]) for tup in tuples], buckets=buckets
+            )
+        value_attributes = relation.schema.nontemporal_attributes
+        rows = [tuple(tup[a] for a in relation.schema.attributes) for tup in tuples]
+        value_parts = [tuple(tup[a] for a in value_attributes) for tup in tuples]
+        coalesced_fraction, tdup_fraction = _temporal_shrink_fractions(relation)
+        return cls(
+            name=name,
+            cardinality=n,
+            attributes=attributes,
+            period=period,
+            row_distinct_ratio=_ratio(estimate_distinct(rows), n),
+            value_distinct_ratio=_ratio(estimate_distinct(value_parts), n),
+            coalesced_fraction=coalesced_fraction,
+            tdup_fraction=tdup_fraction,
+        )
+
+
+def _ratio(distinct: float, total: int) -> float:
+    if total <= 0:
+        return 1.0
+    return min(1.0, max(0.0, distinct / total))
+
+
+#: Value groups larger than this are approximated instead of run through the
+#: reference operators (which are quadratic within a group).
+_EXACT_GROUP_LIMIT = 256
+
+
+def _temporal_shrink_fractions(relation: Relation) -> PyTuple[float, float]:
+    """``(coalT output / n, rdupT output / n)`` for a stored relation.
+
+    Both operators only interact *within* a value-equivalence class, so the
+    reference implementations are applied per group — exact, and near-linear
+    for realistic group sizes.  Oversized groups fall back to interval-sweep
+    approximations (adjacency-chain merging for ``coalT``, the merged period
+    union as a lower bound on ``rdupT`` fragments).
+    """
+    n = len(relation)
+    if n == 0 or not relation.schema.is_temporal:
+        return 1.0, 1.0
+    groups: Dict[PyTuple[Any, ...], List] = {}
+    for tup in relation.tuples:
+        groups.setdefault(tup.value_part(), []).append(tup)
+    coalesced = 0
+    deduplicated = 0
+    for members in groups.values():
+        if len(members) <= _EXACT_GROUP_LIMIT:
+            coalesced += len(coalesce_tuples(list(members)))
+            deduplicated += len(temporal_duplicate_elimination(list(members)))
+        else:
+            periods = sorted((tup[T1], tup[T2]) for tup in members)
+            coalesced += _adjacency_chain_count(periods)
+            deduplicated += _merged_union_count(periods)
+    return _ratio(float(coalesced), n), _ratio(float(deduplicated), n)
+
+
+def _adjacency_chain_count(periods: Sequence[PyTuple[int, int]]) -> int:
+    """Surviving tuples when only exactly adjacent periods merge."""
+    open_ends: Dict[int, int] = {}
+    count = 0
+    for start, end in periods:
+        if open_ends.get(start, 0) > 0:
+            open_ends[start] -= 1
+        else:
+            count += 1
+        open_ends[end] = open_ends.get(end, 0) + 1
+    return count
+
+
+def _merged_union_count(periods: Sequence[PyTuple[int, int]]) -> int:
+    """Number of maximal intervals in the union of (sorted) periods."""
+    count = 0
+    current_end: Optional[int] = None
+    for start, end in periods:
+        if current_end is None or start > current_end:
+            count += 1
+            current_end = end
+        else:
+            current_end = max(current_end, end)
+    return count
+
+
+@dataclass(frozen=True)
+class CardinalityEstimate:
+    """The result of estimating one plan's output cardinality."""
+
+    cardinality: float
+    #: Base relations that were *not* profiled — their cardinality came from
+    #: the caller's plain statistics mapping or the model's default, never
+    #: from histograms.  Empty means the estimate was fully data-driven;
+    #: benchmarks and tests assert on exactly that.
+    assumed_tables: frozenset
+    #: ``(operator label, estimated output cardinality)`` in pre-order.
+    breakdown: PyTuple[PyTuple[str, float], ...] = ()
+
+    @property
+    def data_driven(self) -> bool:
+        """True when no base relation fell back to the default cardinality."""
+        return not self.assumed_tables
+
+    def __float__(self) -> float:
+        return self.cardinality
+
+
+class CardinalityEstimator:
+    """Histogram-backed per-operator cardinality estimation.
+
+    The estimator plugs into :mod:`repro.core.cost` (every costing entry
+    point takes an optional ``estimator``): ``base_cardinality`` replaces the
+    plain ``{name: cardinality}`` statistics mapping and records unknown
+    tables in :attr:`assumed_tables`; ``operator_cardinality`` returns a
+    data-driven estimate for the operators the profiles can resolve and
+    ``None`` for everything else, letting the constant-based model fill in.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[str, TableProfile],
+        fallback_selectivity: float = DEFAULT_SELECTIVITY,
+        default_base_cardinality: float = DEFAULT_BASE_CARDINALITY,
+    ) -> None:
+        self.profiles: Dict[str, TableProfile] = dict(profiles)
+        self.fallback_selectivity = fallback_selectivity
+        self.default_base_cardinality = default_base_cardinality
+        #: Unknown base relations seen by any call since construction/reset.
+        self.assumed_tables: Set[str] = set()
+        total = float(sum(profile.cardinality for profile in self.profiles.values()))
+        self._attribute_pool: Dict[str, List[PyTuple[float, AttributeStatistics]]] = {}
+        for profile in self.profiles.values():
+            weight = profile.cardinality / total if total else 0.0
+            for attribute, stats in profile.attributes.items():
+                self._attribute_pool.setdefault(attribute, []).append((weight, stats))
+        self._rdup_ratio = self._pooled_ratio(lambda p: p.row_distinct_ratio)
+        self._tdup_ratio = self._pooled_ratio(lambda p: p.tdup_fraction)
+        self._coal_ratio = self._pooled_ratio(lambda p: p.coalesced_fraction)
+        self._overlap = self._pooled_overlap()
+
+    @classmethod
+    def from_relations(
+        cls, relations: Mapping[str, Relation], **kwargs: Any
+    ) -> "CardinalityEstimator":
+        """Profile every relation and build an estimator over the profiles."""
+        return cls(
+            {
+                name: TableProfile.from_relation(name, relation)
+                for name, relation in relations.items()
+            },
+            **kwargs,
+        )
+
+    # -- pooled summaries --------------------------------------------------------
+
+    def _pooled_ratio(self, extract) -> Optional[float]:
+        weighted = [
+            (profile.cardinality, extract(profile))
+            for profile in self.profiles.values()
+            if profile.cardinality
+        ]
+        total = sum(weight for weight, _ in weighted)
+        if not total:
+            return None
+        return sum(weight * value for weight, value in weighted) / total
+
+    def _pooled_overlap(self) -> Optional[float]:
+        """Cardinality-weighted pairwise overlap fraction across all tables."""
+        temporal = [
+            profile
+            for profile in self.profiles.values()
+            if profile.period is not None and profile.cardinality
+        ]
+        if not temporal:
+            return None
+        numerator = 0.0
+        denominator = 0.0
+        for left in temporal:
+            for right in temporal:
+                weight = float(left.cardinality) * float(right.cardinality)
+                numerator += weight * left.period.overlap_fraction(right.period)
+                denominator += weight
+        return numerator / denominator if denominator else None
+
+    @property
+    def overlap_fraction(self) -> Optional[float]:
+        """The pooled temporal overlap fraction (None without temporal stats)."""
+        return self._overlap
+
+    # -- the estimation interface consumed by repro.core.cost -------------------
+
+    def base_cardinality(self, name: str, fallback: Optional[float] = None) -> float:
+        """Cardinality of a base relation; unprofiled tables are recorded.
+
+        ``fallback`` is the caller's plain-statistics cardinality for the
+        table, preferred over :attr:`default_base_cardinality` when there is
+        no profile — a known count should never be replaced by a guess.
+        """
+        profile = self.profiles.get(name)
+        if profile is None:
+            self.assumed_tables.add(name)
+            if fallback is not None:
+                return float(fallback)
+            return self.default_base_cardinality
+        return float(profile.cardinality)
+
+    def reset_assumed(self) -> None:
+        """Clear the accumulated unknown-table record."""
+        self.assumed_tables.clear()
+
+    def operator_cardinality(
+        self, node: Operation, child_cardinalities: Sequence[float]
+    ) -> Optional[float]:
+        """Data-driven output estimate for one operator, or None to fall back."""
+        if isinstance(node, Selection):
+            return child_cardinalities[0] * self.selectivity(node.predicate)
+        if isinstance(node, (Join, TemporalJoin)):
+            output = (
+                child_cardinalities[0]
+                * child_cardinalities[1]
+                * self.selectivity(node.predicate)
+            )
+            if isinstance(node, TemporalJoin):
+                if self._overlap is None:
+                    return None
+                output *= self._overlap
+            return output
+        if isinstance(node, TemporalCartesianProduct):
+            if self._overlap is None:
+                return None
+            return child_cardinalities[0] * child_cardinalities[1] * self._overlap
+        if isinstance(node, DuplicateElimination):
+            if self._rdup_ratio is None:
+                return None
+            return child_cardinalities[0] * self._rdup_ratio
+        if isinstance(node, TemporalDuplicateElimination):
+            if self._tdup_ratio is None:
+                return None
+            return child_cardinalities[0] * self._tdup_ratio
+        if isinstance(node, Coalescing):
+            if self._coal_ratio is None:
+                return None
+            return child_cardinalities[0] * self._coal_ratio
+        if isinstance(node, Aggregation):
+            groups = 1.0
+            for attribute in node.grouping:
+                distinct = self._pooled_distinct(attribute)
+                if distinct is None:
+                    return None
+                groups *= max(1.0, distinct)
+            return min(child_cardinalities[0], groups) if node.grouping else min(
+                child_cardinalities[0], 1.0
+            )
+        return None
+
+    # -- selectivities ----------------------------------------------------------
+
+    def selectivity(self, predicate: Expression) -> float:
+        """Selectivity of a predicate in ``[0, 1]`` (with constant fallbacks)."""
+        estimate = self._selectivity(predicate)
+        if estimate is None:
+            estimate = self.fallback_selectivity
+        return min(1.0, max(0.0, estimate))
+
+    def _selectivity(self, predicate: Expression) -> Optional[float]:
+        if isinstance(predicate, Literal):
+            if predicate.value is True:
+                return 1.0
+            if predicate.value is False:
+                return 0.0
+            return None
+        if isinstance(predicate, And):
+            result = 1.0
+            for operand in self.selectivities(predicate.operands):
+                result *= operand
+            return result
+        if isinstance(predicate, Or):
+            result = 1.0
+            for operand in self.selectivities(predicate.operands):
+                result *= 1.0 - operand
+            return 1.0 - result
+        if isinstance(predicate, Not):
+            return 1.0 - self.selectivity(predicate.operand)
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate)
+        return None
+
+    def selectivities(self, predicates: Sequence[Expression]) -> List[float]:
+        """Per-predicate selectivities (each with the constant fallback applied)."""
+        return [self.selectivity(predicate) for predicate in predicates]
+
+    def _comparison_selectivity(self, comparison: Comparison) -> Optional[float]:
+        left, right = comparison.left, comparison.right
+        if isinstance(left, AttributeRef) and isinstance(right, Literal):
+            return self._attribute_vs_literal(comparison.operator, left.name, right.value)
+        if isinstance(left, Literal) and isinstance(right, AttributeRef):
+            return self._attribute_vs_literal(
+                _mirror(comparison.operator), right.name, left.value
+            )
+        if isinstance(left, AttributeRef) and isinstance(right, AttributeRef):
+            if comparison.operator is ComparisonOperator.EQ:
+                return self._equijoin_selectivity(left.name, right.name)
+            return None
+        return None
+
+    def _attribute_vs_literal(
+        self, operator: ComparisonOperator, attribute: str, value: Any
+    ) -> Optional[float]:
+        pool = self._attribute_pool.get(_strip_clash_prefix(attribute))
+        if not pool:
+            return None
+        total_weight = sum(weight for weight, _ in pool)
+        if not total_weight:
+            return None
+        weighted = 0.0
+        for weight, stats in pool:
+            histogram = stats.histogram
+            if operator is ComparisonOperator.EQ:
+                selectivity = histogram.selectivity_equals(value)
+            elif operator is ComparisonOperator.NE:
+                selectivity = 1.0 - histogram.selectivity_equals(value)
+            elif operator is ComparisonOperator.LT:
+                selectivity = histogram.selectivity_range(high=value, high_inclusive=False)
+            elif operator is ComparisonOperator.LE:
+                selectivity = histogram.selectivity_range(high=value, high_inclusive=True)
+            elif operator is ComparisonOperator.GT:
+                selectivity = histogram.selectivity_range(low=value, low_inclusive=False)
+            else:
+                selectivity = histogram.selectivity_range(low=value, low_inclusive=True)
+            weighted += weight * selectivity
+        return weighted / total_weight
+
+    def _equijoin_selectivity(self, left: str, right: str) -> Optional[float]:
+        """``P(l = r)`` for random values of the two attributes.
+
+        The end-biased dot product: the histograms' exactly-kept heads match
+        head-to-head, a head value on one side matches the other side's
+        uniform tail, and the two tails match under the classic ``1 /
+        max(d_l, d_r)`` uniformity assumption.  Under skew this is far above
+        ``1/d`` — matching the truth, since frequent values join with
+        frequent values quadratically often.
+        """
+        left_head = self._pooled_head(left)
+        right_head = self._pooled_head(right)
+        if left_head is None or right_head is None:
+            return None
+        left_probabilities, left_tail_mass, left_tail_distinct = left_head
+        right_probabilities, right_tail_mass, right_tail_distinct = right_head
+        left_tail_each = left_tail_mass / left_tail_distinct if left_tail_distinct else 0.0
+        right_tail_each = right_tail_mass / right_tail_distinct if right_tail_distinct else 0.0
+        selectivity = 0.0
+        for value, probability in left_probabilities.items():
+            selectivity += probability * right_probabilities.get(value, right_tail_each)
+        for value, probability in right_probabilities.items():
+            if value not in left_probabilities:
+                selectivity += probability * left_tail_each
+        if left_tail_distinct and right_tail_distinct:
+            selectivity += (
+                left_tail_mass
+                * right_tail_mass
+                / max(left_tail_distinct, right_tail_distinct)
+            )
+        return min(1.0, selectivity)
+
+    def _pooled_head(
+        self, attribute: str
+    ) -> Optional[PyTuple[Dict[Any, float], float, float]]:
+        """``(head value -> probability, tail mass, tail distinct)`` for one attribute."""
+        pool = self._attribute_pool.get(_strip_clash_prefix(attribute))
+        if not pool:
+            return None
+        total_weight = sum(weight for weight, _ in pool)
+        if not total_weight:
+            return None
+        probabilities: Dict[Any, float] = {}
+        for weight, stats in pool:
+            histogram = stats.histogram
+            if not histogram.total:
+                continue
+            for value, count in histogram.common:
+                share = (weight / total_weight) * (count / histogram.total)
+                probabilities[value] = probabilities.get(value, 0.0) + share
+        tail_mass = max(0.0, 1.0 - sum(probabilities.values()))
+        distinct = self._pooled_distinct(attribute) or 1.0
+        tail_distinct = max(0.0, distinct - len(probabilities))
+        if tail_distinct == 0.0 and tail_mass > 0.0:
+            tail_distinct = 1.0
+        return probabilities, tail_mass, tail_distinct
+
+    def _pooled_distinct(self, attribute: str) -> Optional[float]:
+        pool = self._attribute_pool.get(_strip_clash_prefix(attribute))
+        if not pool:
+            return None
+        return max(stats.distinct for _, stats in pool)
+
+    # -- whole-plan estimation ---------------------------------------------------
+
+    def estimate(self, plan: Operation, model: Optional[Any] = None) -> CardinalityEstimate:
+        """Walk a plan bottom-up and estimate its output cardinality.
+
+        Per-node estimates are exactly the ones :func:`repro.core.cost.estimate_cost`
+        would use with this estimator; the returned object additionally
+        carries which base relations had to fall back to the default
+        cardinality (``assumed_tables``).
+        """
+        model = model or CostModel(
+            selectivity=self.fallback_selectivity,
+            default_base_cardinality=self.default_base_cardinality,
+        )
+        assumed: Set[str] = set()
+        breakdown: List[PyTuple[str, float]] = []
+
+        def visit(node: Operation) -> float:
+            children = [visit(child) for child in node.children]
+            if isinstance(node, BaseRelation) and node.relation_name not in self.profiles:
+                assumed.add(node.relation_name)
+            output = operator_cardinality(node, children, model=model, estimator=self)
+            breakdown.append((node.label(), output))
+            return output
+
+        cardinality = visit(plan)
+        return CardinalityEstimate(
+            cardinality=cardinality,
+            assumed_tables=frozenset(assumed),
+            breakdown=tuple(reversed(breakdown)),
+        )
+
+
+def _strip_clash_prefix(attribute: str) -> str:
+    return _CLASH_PREFIX.sub("", attribute)
+
+
+def _mirror(operator: ComparisonOperator) -> ComparisonOperator:
+    """``lit op attr`` rewritten as ``attr op' lit``."""
+    mirrored = {
+        ComparisonOperator.LT: ComparisonOperator.GT,
+        ComparisonOperator.LE: ComparisonOperator.GE,
+        ComparisonOperator.GT: ComparisonOperator.LT,
+        ComparisonOperator.GE: ComparisonOperator.LE,
+    }
+    return mirrored.get(operator, operator)

@@ -101,6 +101,7 @@ class TemporalQueryOptimizer:
         max_plans: int = 3000,
         strategy: str = "memo",
         search_options: Optional[SearchOptions] = None,
+        estimator=None,
     ) -> None:
         if strategy not in ("memo", "exhaustive"):
             raise ValueError(f"unknown optimizer strategy {strategy!r}")
@@ -109,28 +110,40 @@ class TemporalQueryOptimizer:
         self.max_plans = max_plans
         self.strategy = strategy
         self.search_options = search_options or SearchOptions(max_expressions=max_plans)
+        #: Optional histogram-backed cardinality estimator (see
+        #: :mod:`repro.stats`); a per-call estimator passed to
+        #: :meth:`optimize` takes precedence.
+        self.estimator = estimator
 
     def optimize(
         self,
         initial_plan: Operation,
         query_spec: QueryResultSpec,
         statistics: Optional[Mapping[str, int]] = None,
+        estimator=None,
     ) -> OptimizationOutcome:
         """Find the cheapest plan equivalent to ``initial_plan``."""
+        estimator = estimator if estimator is not None else self.estimator
         if self.strategy == "memo":
-            return self._optimize_memo(initial_plan, query_spec, statistics)
-        return self._optimize_exhaustive(initial_plan, query_spec, statistics)
+            return self._optimize_memo(initial_plan, query_spec, statistics, estimator)
+        return self._optimize_exhaustive(initial_plan, query_spec, statistics, estimator)
 
     def _optimize_memo(
         self,
         initial_plan: Operation,
         query_spec: QueryResultSpec,
         statistics: Optional[Mapping[str, int]],
+        estimator=None,
     ) -> OptimizationOutcome:
         search = MemoSearch(
-            rules=self.rules, cost_model=self.cost_model, options=self.search_options
+            rules=self.rules,
+            cost_model=self.cost_model,
+            options=self.search_options,
+            estimator=estimator,
         ).optimize(initial_plan, query_spec, statistics)
-        initial_cost = estimate_cost(initial_plan, statistics, self.cost_model)
+        initial_cost = estimate_cost(
+            initial_plan, statistics, self.cost_model, estimator=estimator
+        )
         return OptimizationOutcome(
             initial_plan=initial_plan,
             chosen_plan=search.best_plan,
@@ -144,14 +157,17 @@ class TemporalQueryOptimizer:
         initial_plan: Operation,
         query_spec: QueryResultSpec,
         statistics: Optional[Mapping[str, int]],
+        estimator=None,
     ) -> OptimizationOutcome:
         enumeration = enumerate_plans(
             initial_plan, query_spec, rules=self.rules, max_plans=self.max_plans
         )
         chosen_plan, chosen_cost = choose_best_plan(
-            enumeration.plans, statistics, self.cost_model
+            enumeration.plans, statistics, self.cost_model, estimator=estimator
         )
-        initial_cost = estimate_cost(initial_plan, statistics, self.cost_model)
+        initial_cost = estimate_cost(
+            initial_plan, statistics, self.cost_model, estimator=estimator
+        )
         return OptimizationOutcome(
             initial_plan=initial_plan,
             chosen_plan=chosen_plan,
@@ -169,10 +185,15 @@ class TemporalDatabase:
         dbms: Optional[ConventionalDBMS] = None,
         optimizer: Optional[TemporalQueryOptimizer] = None,
         optimize_queries: bool = True,
+        use_statistics: bool = False,
     ) -> None:
-        self.dbms = dbms or ConventionalDBMS()
+        self.dbms = dbms or ConventionalDBMS(use_statistics=use_statistics)
         self.optimizer = optimizer or TemporalQueryOptimizer()
         self.optimize_queries = optimize_queries
+        #: When True, every optimization consumes a fresh histogram-backed
+        #: estimator built from the catalog (see :mod:`repro.stats`) instead
+        #: of the cost model's fixed selectivity/overlap constants.
+        self.use_statistics = use_statistics
 
     # -- data definition ---------------------------------------------------------
 
@@ -195,6 +216,10 @@ class TemporalDatabase:
     def statistics(self) -> Mapping[str, int]:
         """Base-table cardinalities, as used by the cost model."""
         return self.dbms.statistics()
+
+    def estimator(self, **kwargs):
+        """A histogram-backed estimator over the current base tables."""
+        return self.dbms.estimator(**kwargs)
 
     def evaluation_context(self) -> EvaluationContext:
         """A reference-evaluation context over all base tables."""
@@ -225,9 +250,19 @@ class TemporalDatabase:
     def execute_plan(self, initial_plan: Operation, query_spec: QueryResultSpec) -> QueryOutcome:
         """Optimize (optionally) and execute an algebra plan."""
         if self.optimize_queries:
-            optimization = self.optimizer.optimize(initial_plan, query_spec, self.statistics())
+            optimization = self.optimizer.optimize(
+                initial_plan,
+                query_spec,
+                self.statistics(),
+                estimator=self.estimator() if self.use_statistics else None,
+            )
         else:
-            cost = estimate_cost(initial_plan, self.statistics(), self.optimizer.cost_model)
+            cost = estimate_cost(
+                initial_plan,
+                self.statistics(),
+                self.optimizer.cost_model,
+                estimator=self.estimator() if self.use_statistics else None,
+            )
             optimization = OptimizationOutcome(
                 initial_plan=initial_plan,
                 chosen_plan=initial_plan,
@@ -258,7 +293,12 @@ class TemporalDatabase:
     def explain(self, statement: str) -> str:
         """Initial plan, chosen plan and engine assignment for a statement."""
         initial_plan, query_spec = self.parse(statement)
-        optimization = self.optimizer.optimize(initial_plan, query_spec, self.statistics())
+        optimization = self.optimizer.optimize(
+            initial_plan,
+            query_spec,
+            self.statistics(),
+            estimator=self.estimator() if self.use_statistics else None,
+        )
         lines = [
             f"statement: {statement}",
             f"result specification: {query_spec}",

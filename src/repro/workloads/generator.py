@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple as PyTuple
 
 from ..core.relation import Relation
@@ -30,6 +31,16 @@ class WorkloadParameters:
     tuple's period ends (coalescing opportunities); ``overlap_ratio`` is the
     fraction whose period overlaps an earlier value-equivalent tuple's period
     (temporal duplicates).  The remaining tuples get independent periods.
+
+    ``value_skew`` Zipf-distributes the value parts (entities, departments,
+    project codes): 0.0 keeps the historical uniform draws bit-for-bit, and
+    larger values concentrate the mass on the first few ranks — the shape the
+    equi-depth histograms of :mod:`repro.stats` exist to capture.
+    ``period_mode`` controls where periods start: ``"uniform"`` spreads them
+    over the whole time span (the historical behaviour), ``"clustered"``
+    draws starts around ``period_clusters`` evenly spaced bursts, producing
+    the high temporal-overlap regimes the interval histogram can see and the
+    fixed overlap constant cannot.
     """
 
     tuples: int = 1000
@@ -40,6 +51,9 @@ class WorkloadParameters:
     adjacency_ratio: float = 0.2
     overlap_ratio: float = 0.1
     seed: int = 42
+    value_skew: float = 0.0
+    period_mode: str = "uniform"
+    period_clusters: int = 4
 
     def __post_init__(self) -> None:
         total = self.duplicate_ratio + self.adjacency_ratio + self.overlap_ratio
@@ -47,6 +61,12 @@ class WorkloadParameters:
             raise ValueError("duplicate, adjacency and overlap ratios may not exceed 1.0 combined")
         if self.tuples < 0 or self.entities <= 0 or self.time_span <= 1:
             raise ValueError("tuples must be >= 0, entities >= 1, time_span >= 2")
+        if self.value_skew < 0:
+            raise ValueError("value_skew must be >= 0")
+        if self.period_mode not in ("uniform", "clustered"):
+            raise ValueError(f"unknown period_mode {self.period_mode!r}")
+        if self.period_clusters <= 0:
+            raise ValueError("period_clusters must be >= 1")
 
 
 DEPARTMENTS = (
@@ -63,8 +83,53 @@ DEPARTMENTS = (
 PROJECT_CODES = tuple(f"P{i}" for i in range(1, 41))
 
 
+@lru_cache(maxsize=128)
+def _zipf_cumulative(n: int, skew: float) -> PyTuple[float, ...]:
+    """Cumulative Zipf(``skew``) weights over ranks ``0..n-1`` (normalised)."""
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    cumulative[-1] = 1.0
+    return tuple(cumulative)
+
+
+def _skewed_index(rng: random.Random, n: int, skew: float) -> int:
+    """A rank in ``[0, n)``: uniform at skew 0 (bit-identical to the
+    historical ``randrange`` draw), Zipf-distributed otherwise."""
+    if skew <= 0.0 or n <= 1:
+        return rng.randrange(n)
+    cumulative = _zipf_cumulative(n, skew)
+    roll = rng.random()
+    low, high = 0, n - 1
+    while low < high:
+        middle = (low + high) // 2
+        if roll <= cumulative[middle]:
+            high = middle
+        else:
+            low = middle + 1
+    return low
+
+
+def _skewed_choice(rng: random.Random, values: Sequence, skew: float):
+    """``rng.choice`` at skew 0 (same RNG consumption), Zipf-weighted above."""
+    if skew <= 0.0:
+        return rng.choice(values)
+    return values[_skewed_index(rng, len(values), skew)]
+
+
 def _random_period(rng: random.Random, params: WorkloadParameters) -> PyTuple[int, int]:
-    start = rng.randrange(1, params.time_span)
+    if params.period_mode == "clustered":
+        span = params.time_span - 1
+        cluster = rng.randrange(params.period_clusters)
+        center = 1 + round((cluster + 0.5) * span / params.period_clusters)
+        spread = max(1, span // (4 * params.period_clusters))
+        start = min(params.time_span - 1, max(1, center + rng.randrange(-spread, spread + 1)))
+    else:
+        start = rng.randrange(1, params.time_span)
     duration = rng.randrange(1, params.max_duration + 1)
     end = min(params.time_span + 1, start + duration)
     return start, max(end, start + 1)
@@ -115,7 +180,10 @@ def generate_employees(params: Optional[WorkloadParameters] = None) -> Relation:
     rng = random.Random(params.seed)
 
     def make_values(r: random.Random) -> PyTuple[str, str]:
-        return (f"emp{r.randrange(params.entities)}", r.choice(DEPARTMENTS))
+        return (
+            f"emp{_skewed_index(r, params.entities, params.value_skew)}",
+            _skewed_choice(r, DEPARTMENTS, params.value_skew),
+        )
 
     return _generate_history(rng, params, EMPLOYEE_SCHEMA, make_values)
 
@@ -126,7 +194,10 @@ def generate_projects(params: Optional[WorkloadParameters] = None) -> Relation:
     rng = random.Random(params.seed + 1)
 
     def make_values(r: random.Random) -> PyTuple[str, str]:
-        return (f"emp{r.randrange(params.entities)}", r.choice(PROJECT_CODES))
+        return (
+            f"emp{_skewed_index(r, params.entities, params.value_skew)}",
+            _skewed_choice(r, PROJECT_CODES, params.value_skew),
+        )
 
     return _generate_history(rng, params, PROJECT_SCHEMA, make_values)
 
@@ -139,6 +210,8 @@ def generate_assignment_history(
     duplicate_ratio: float = 0.1,
     adjacency_ratio: float = 0.2,
     overlap_ratio: float = 0.1,
+    value_skew: float = 0.0,
+    period_mode: str = "uniform",
 ) -> Relation:
     """Generate a generic (Entity, Value, T1, T2) valid-time history.
 
@@ -156,11 +229,16 @@ def generate_assignment_history(
         duplicate_ratio=duplicate_ratio,
         adjacency_ratio=adjacency_ratio,
         overlap_ratio=overlap_ratio,
+        value_skew=value_skew,
+        period_mode=period_mode,
     )
     rng = random.Random(seed)
 
     def make_values(r: random.Random) -> PyTuple[str, int]:
-        return (f"e{r.randrange(entities)}", r.randrange(10))
+        return (
+            f"e{_skewed_index(r, entities, value_skew)}",
+            _skewed_index(r, 10, value_skew),
+        )
 
     return _generate_history(rng, params, schema, make_values)
 
@@ -192,5 +270,46 @@ def scaled_paper_workload(scale: int, seed: int = 11) -> PyTuple[Relation, Relat
         adjacency_ratio=0.1,
         overlap_ratio=0.05,
         seed=seed + 1,
+    )
+    return generate_employees(employee_params), generate_projects(project_params)
+
+
+def skewed_paper_workload(
+    scale: int, seed: int = 13, value_skew: float = 1.3
+) -> PyTuple[Relation, Relation]:
+    """EMPLOYEE/PROJECT instances with Zipf values and clustered periods.
+
+    The stress workload of the statistics benchmarks: department/project
+    choices are heavily skewed, periods burst around a few clusters, and the
+    histories carry far more exact duplicates, adjacency and overlap than
+    the uniform defaults — exactly the regime where the fixed selectivity
+    and overlap constants of :mod:`repro.core.cost` are furthest from the
+    truth and histogram-backed estimates pay off.
+    """
+    employee_params = WorkloadParameters(
+        tuples=8 * scale,
+        entities=max(2, scale // 4),
+        time_span=120,
+        max_duration=40,
+        duplicate_ratio=0.2,
+        adjacency_ratio=0.35,
+        overlap_ratio=0.35,
+        seed=seed,
+        value_skew=value_skew,
+        period_mode="clustered",
+        period_clusters=3,
+    )
+    project_params = WorkloadParameters(
+        tuples=6 * scale,
+        entities=max(2, scale // 4),
+        time_span=120,
+        max_duration=15,
+        duplicate_ratio=0.1,
+        adjacency_ratio=0.2,
+        overlap_ratio=0.3,
+        seed=seed + 1,
+        value_skew=value_skew,
+        period_mode="clustered",
+        period_clusters=3,
     )
     return generate_employees(employee_params), generate_projects(project_params)

@@ -91,6 +91,40 @@ def snapshot_relations(draw, max_size: int = 8) -> Relation:
 
 
 @st.composite
+def value_columns(draw, max_size: int = 40) -> List[int]:
+    """A non-empty multiset of small integers — one attribute's values.
+
+    Drawn from a narrow alphabet so heavy duplication (the regime histograms
+    summarise) is common; used by the histogram property tests.
+    """
+    return draw(
+        st.lists(st.integers(min_value=-5, max_value=20), min_size=1, max_size=max_size)
+    )
+
+
+@st.composite
+def period_columns(draw, max_size: int = 30, max_time: int = 20) -> List[PyTuple[int, int]]:
+    """A non-empty multiset of closed-open periods for interval histograms."""
+    return draw(st.lists(periods(max_time=max_time), min_size=1, max_size=max_size))
+
+
+@st.composite
+def profiled_relation_pairs(draw, max_size: int = 8):
+    """Two temporal relations (the second non-empty) plus an estimator over them.
+
+    The estimator is built from the relations' own profiles, so estimates are
+    fully data-driven; the property tests check the output-cardinality bounds
+    the cost model's branch-and-bound relies on.
+    """
+    from repro.stats import CardinalityEstimator
+
+    left = draw(temporal_relations(max_size=max_size))
+    right = draw(temporal_relations(schema=TEMPORAL_SCHEMA_2, max_size=max_size))
+    estimator = CardinalityEstimator.from_relations({"R": left, "S": right})
+    return left, right, estimator
+
+
+@st.composite
 def order_specs(draw, attributes: PyTuple[str, ...] = ("Name", "Dept")) -> OrderSpec:
     """A sort specification over a subset of ``attributes``."""
     chosen: List[str] = draw(

@@ -6,6 +6,7 @@ from repro.core.exceptions import CatalogError, SchemaError
 from repro.core.order_spec import OrderSpec
 from repro.core.relation import Relation
 from repro.dbms.catalog import Catalog, Table, TableStatistics
+from repro.stats import CardinalityEstimator, TableProfile
 from repro.workloads import EMPLOYEE_SCHEMA, PROJECT_SCHEMA, employee_relation
 
 
@@ -46,6 +47,20 @@ class TestTable:
         assert stats.cardinality == 5
         assert stats.distinct_values["Dept"] == 2
 
+    def test_histogram_and_period_summaries(self, employee):
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA, employee)
+        histogram = table.statistics.histogram("Dept")
+        assert histogram.total == 5
+        assert histogram.distinct == 2
+        period = table.statistics.period_histogram()
+        assert period is not None
+        assert period.count == 5
+        # Interleaving the table-level and statistics-level accessors must
+        # not thrash the lazy profile cache.
+        first = table.profile()
+        table.statistics.histogram("Dept")
+        assert table.profile() is first
+
 
 class TestCatalog:
     def test_create_and_lookup(self, employee):
@@ -83,3 +98,79 @@ class TestCatalog:
         catalog.create_table("EMPLOYEE", EMPLOYEE_SCHEMA, employee)
         catalog.create_table("PROJECT", PROJECT_SCHEMA, project)
         assert catalog.statistics() == {"EMPLOYEE": 5, "PROJECT": 8}
+
+    def test_profiles_and_estimator(self, employee, project):
+        catalog = Catalog()
+        catalog.create_table("EMPLOYEE", EMPLOYEE_SCHEMA, employee)
+        catalog.create_table("PROJECT", PROJECT_SCHEMA, project)
+        profiles = catalog.profiles()
+        assert set(profiles) == {"EMPLOYEE", "PROJECT"}
+        assert all(isinstance(profile, TableProfile) for profile in profiles.values())
+        estimator = catalog.estimator()
+        assert isinstance(estimator, CardinalityEstimator)
+        assert estimator.base_cardinality("EMPLOYEE") == 5.0
+
+
+class TestIncrementalStatistics:
+    """Satellite regression: incremental updates must equal a full recompute."""
+
+    BATCHES = (
+        [("Mia", "Sales", 1, 4), ("Mia", "Sales", 4, 9)],
+        [("Tom", "Ads", 2, 5)],
+        [("Mia", "Sales", 1, 4), ("Ann", "Sales", 3, 7), ("Tom", "Ads", 8, 11)],
+    )
+
+    def _table_after_inserts(self) -> Table:
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        for batch in self.BATCHES:
+            table.insert(batch)
+        return table
+
+    def test_incremental_equals_recompute(self):
+        table = self._table_after_inserts()
+        recomputed = TableStatistics.from_relation(table.relation)
+        assert table.statistics.cardinality == recomputed.cardinality == 6
+        assert table.statistics.distinct_values == recomputed.distinct_values
+
+    def test_incremental_profile_equals_recomputed_profile(self):
+        table = self._table_after_inserts()
+        recomputed = TableProfile.from_relation("EMPLOYEE", table.relation)
+        incremental = table.profile()
+        assert incremental.cardinality == recomputed.cardinality
+        assert incremental.period == recomputed.period
+        assert incremental.row_distinct_ratio == recomputed.row_distinct_ratio
+        assert incremental.coalesced_fraction == recomputed.coalesced_fraction
+        for attribute in table.schema.attributes:
+            assert (
+                incremental.attributes[attribute].histogram
+                == recomputed.attributes[attribute].histogram
+            )
+
+    def test_insert_does_not_rescan_the_relation(self, monkeypatch):
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        table.insert(self.BATCHES[0])
+
+        def fail_from_relation(relation):  # pragma: no cover - guard only
+            raise AssertionError("insert must not recompute statistics from scratch")
+
+        monkeypatch.setattr(TableStatistics, "from_relation", fail_from_relation)
+        table.insert(self.BATCHES[1])
+        assert table.statistics.cardinality == 3
+
+    def test_profile_cache_invalidated_by_insert(self):
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        table.insert(self.BATCHES[0])
+        before = table.profile()
+        assert table.profile() is before  # cached while unchanged
+        table.insert(self.BATCHES[1])
+        after = table.profile()
+        assert after is not before
+        assert after.cardinality == 3
+
+    def test_replace_restarts_statistics(self, employee):
+        table = Table("EMPLOYEE", EMPLOYEE_SCHEMA)
+        table.insert(self.BATCHES[0])
+        table.replace(employee)
+        recomputed = TableStatistics.from_relation(employee)
+        assert table.statistics.cardinality == recomputed.cardinality
+        assert table.statistics.distinct_values == recomputed.distinct_values

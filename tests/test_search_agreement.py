@@ -13,15 +13,25 @@ from repro.core.cost import choose_best_plan, estimate_cost
 from repro.core.enumeration import enumerate_plans
 from repro.core.operations.base import EvaluationContext
 from repro.search import search_best_plan
+from repro.stats import CardinalityEstimator
 from repro.workloads import (
     employee_relation,
     fully_enumerable_queries,
     project_relation,
+    skewed_paper_workload,
 )
 
 STATISTICS = {"EMPLOYEE": 5, "PROJECT": 8}
 
 QUERIES = fully_enumerable_queries()
+
+#: A skewed instance for the histogram-backed agreement variant: selectivity
+#: and overlap estimates differ sharply from the fixed constants here, so a
+#: pruning bug that only bites under data-driven costs would surface.
+_SKEWED_EMPLOYEES, _SKEWED_PROJECTS = skewed_paper_workload(12)
+SKEWED_RELATIONS = {"EMPLOYEE": _SKEWED_EMPLOYEES, "PROJECT": _SKEWED_PROJECTS}
+SKEWED_STATISTICS = {name: len(relation) for name, relation in SKEWED_RELATIONS.items()}
+ESTIMATOR = CardinalityEstimator.from_relations(SKEWED_RELATIONS)
 
 
 @pytest.mark.parametrize("named", QUERIES, ids=[query.name for query in QUERIES])
@@ -64,3 +74,43 @@ class TestAgreementWithExhaustiveEnumeration:
             pytest.skip("sharing only pays off once the plan space fans out")
         result = search_best_plan(plan, spec, statistics=STATISTICS)
         assert result.statistics.plans_considered < len(enumeration)
+
+
+@pytest.mark.parametrize("named", QUERIES, ids=[query.name for query in QUERIES])
+class TestAgreementWithHistogramEstimates:
+    """The agreement oracle re-run under data-driven (histogram) costs.
+
+    The memo search's pruning must stay exact when the per-operator
+    cardinalities come from the :mod:`repro.stats` estimator instead of the
+    fixed constants — the estimator's estimates are monotone in the input
+    cardinalities precisely so the branch-and-bound lower bounds stay
+    admissible; this suite is the regression net for that contract.
+    """
+
+    def test_best_cost_matches_exhaustive_minimum(self, named):
+        plan, spec = named.build()
+        enumeration = enumerate_plans(plan, spec, max_plans=60000)
+        assert not enumeration.statistics.truncated, "query is not fully enumerable"
+        _, exhaustive_cost = choose_best_plan(
+            enumeration.plans, SKEWED_STATISTICS, estimator=ESTIMATOR
+        )
+        result = search_best_plan(
+            plan, spec, statistics=SKEWED_STATISTICS, estimator=ESTIMATOR
+        )
+        assert result.best_cost.total == pytest.approx(exhaustive_cost.total, rel=1e-12)
+
+    def test_chosen_plan_satisfies_definition_51(self, named):
+        plan, spec = named.build()
+        context = EvaluationContext(SKEWED_RELATIONS)
+        reference = plan.evaluate(context)
+        result = search_best_plan(
+            plan, spec, statistics=SKEWED_STATISTICS, estimator=ESTIMATOR
+        )
+        produced = result.best_plan.evaluate(context)
+        assert results_acceptable(reference, produced, spec), result.best_plan.pretty()
+
+    def test_estimates_are_data_driven(self, named):
+        plan, _ = named.build()
+        estimate = ESTIMATOR.estimate(plan)
+        assert estimate.assumed_tables == frozenset()
+        assert estimate.data_driven

@@ -1,0 +1,58 @@
+"""Tests for the cost-model calibration harness.
+
+Wall-clock timings vary between machines and runs, so these tests only pin
+down the *structure* of a fit: every constant lands inside its clamp range,
+the DBMS can never come out "faster" at temporal work than the stratum's
+purpose-built fast paths, and the raw measurements are reported.
+"""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.stats import calibrate_cost_model
+from repro.stats.calibration import PENALTY_RANGE, SPEED_RANGE, TRANSFER_RANGE
+from repro.workloads import generate_assignment_history
+
+
+@pytest.fixture(scope="module")
+def result():
+    return calibrate_cost_model(tuples=300, repeats=1)
+
+
+class TestCalibration:
+    def test_constants_land_in_their_clamp_ranges(self, result):
+        model = result.model
+        assert SPEED_RANGE[0] <= model.dbms_speed <= SPEED_RANGE[1]
+        assert PENALTY_RANGE[0] <= model.dbms_temporal_penalty <= PENALTY_RANGE[1]
+        assert TRANSFER_RANGE[0] <= model.transfer_cost <= TRANSFER_RANGE[1]
+
+    def test_temporal_penalty_is_a_penalty(self, result):
+        assert result.model.dbms_temporal_penalty >= 1.0
+
+    def test_selectivity_constants_are_untouched(self, result):
+        base = CostModel()
+        assert result.model.selectivity == base.selectivity
+        assert result.model.overlap_fraction == base.overlap_fraction
+        assert result.model.default_base_cardinality == base.default_base_cardinality
+
+    def test_measurements_cover_both_engines(self, result):
+        engines = {measurement.engine for measurement in result.measurements}
+        assert {"stratum", "dbms", "boundary"} <= engines
+        assert all(measurement.seconds > 0 for measurement in result.measurements)
+        assert all(measurement.tuples == 300 for measurement in result.measurements)
+
+    def test_ratios_and_description(self, result):
+        assert set(result.ratios) == {
+            "selection_speed",
+            "sort_speed",
+            "temporal_penalty",
+            "transfer_per_tuple",
+        }
+        text = result.describe()
+        assert "dbms_speed" in text
+        assert "transfer_cost" in text
+
+    def test_accepts_a_caller_relation(self):
+        relation = generate_assignment_history(120, entities=10, seed=3)
+        fitted = calibrate_cost_model(repeats=1, relation=relation)
+        assert fitted.measurements[0].tuples == 120

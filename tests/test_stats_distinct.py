@@ -1,0 +1,50 @@
+"""Tests for exact/sampled distinct-count estimation."""
+
+import pytest
+
+from repro.stats import distinct_ratio, estimate_distinct, exact_distinct
+
+
+class TestExactDistinct:
+    def test_counts_distinct(self):
+        assert exact_distinct([1, 1, 2, 3, 3, 3]) == 3
+
+    def test_empty(self):
+        assert exact_distinct([]) == 0
+
+
+class TestEstimateDistinct:
+    def test_small_inputs_are_exact(self):
+        values = [i % 7 for i in range(100)]
+        assert estimate_distinct(values) == 7.0
+
+    def test_empty(self):
+        assert estimate_distinct([]) == 0.0
+
+    def test_large_inputs_are_sampled(self):
+        # 100k values over 50 distinct — far past the exact threshold.
+        values = [i % 50 for i in range(100_000)]
+        estimate = estimate_distinct(values, exact_threshold=1000, sample_size=500)
+        assert 50 <= estimate <= 200  # every distinct value lands in the sample
+
+    def test_sampled_estimate_bounded_by_input_size(self):
+        values = list(range(5000))  # all distinct
+        estimate = estimate_distinct(values, exact_threshold=100, sample_size=64)
+        assert 64 <= estimate <= 5000
+
+    def test_deterministic(self):
+        values = [i % 321 for i in range(20_000)]
+        first = estimate_distinct(values, exact_threshold=100, sample_size=256)
+        second = estimate_distinct(values, exact_threshold=100, sample_size=256)
+        assert first == second
+
+
+class TestDistinctRatio:
+    def test_ratio_of_unique_input_is_one(self):
+        assert distinct_ratio([1, 2, 3]) == 1.0
+
+    def test_ratio_of_constant_input(self):
+        assert distinct_ratio([7] * 10) == pytest.approx(0.1)
+
+    def test_empty_defaults_to_one(self):
+        assert distinct_ratio([]) == 1.0
