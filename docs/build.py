@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""Build the documentation site from ``docs/`` — stdlib only.
+
+The container that runs the tier-1 suite has no mkdocs/Sphinx, so this
+builder is deliberately dependency-free:
+
+* every ``docs/*.md`` page renders to ``docs/_site/*.html`` through a small
+  CommonMark-subset converter (headings with GitHub-style anchor slugs,
+  fenced code, lists, tables, links, inline code/emphasis);
+* API reference pages are **generated from docstrings** for the public
+  surface (``Session``, ``TemporalDatabase``, ``MemoSearch``,
+  ``CardinalityEstimator``) into ``docs/_site/api/``;
+* every internal link and anchor is checked against the generated page
+  set — a broken link fails the build (exit 1), which is what the CI docs
+  job asserts.
+
+A ``mkdocs.yml`` is also provided for environments that do have mkdocs;
+this script is the build CI runs.
+
+Usage::
+
+    python docs/build.py [--out docs/_site]
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import inspect
+import re
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+
+#: The public surface the API reference documents: page name -> dotted path.
+API_SURFACE = {
+    "session": "repro.session.session.Session",
+    "temporaldatabase": "repro.stratum.layer.TemporalDatabase",
+    "memosearch": "repro.search.search.MemoSearch",
+    "cardinalityestimator": "repro.stats.estimator.CardinalityEstimator",
+}
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: sans-serif; max-width: 56rem; margin: 2rem auto; padding: 0 1rem; line-height: 1.55; color: #1c1e21; }}
+pre {{ background: #f6f8fa; padding: .8rem; overflow-x: auto; border-radius: 6px; }}
+code {{ background: #f6f8fa; padding: .1rem .25rem; border-radius: 4px; font-size: .92em; }}
+pre code {{ padding: 0; background: none; }}
+table {{ border-collapse: collapse; }}
+th, td {{ border: 1px solid #d0d7de; padding: .3rem .6rem; text-align: left; }}
+nav {{ margin-bottom: 1.5rem; font-size: .92em; }}
+h1, h2, h3 {{ line-height: 1.25; }}
+</style>
+</head>
+<body>
+<nav>{nav}</nav>
+{body}
+</body>
+</html>
+"""
+
+
+def slugify(text: str) -> str:
+    """GitHub-style heading slug: lowercase, spaces to dashes, strip punctuation."""
+    text = re.sub(r"`", "", text)
+    text = re.sub(r"[^\w\s-]", "", text.lower())
+    return re.sub(r"[\s]+", "-", text.strip())
+
+
+def _inline(text: str) -> str:
+    """Render inline markdown within one line of already-escaped text."""
+    text = html.escape(text, quote=False)
+    text = re.sub(r"`([^`]+)`", lambda m: f"<code>{m.group(1)}</code>", text)
+    text = re.sub(
+        r"\[([^\]]+)\]\(([^)\s]+)\)",
+        lambda m: f'<a href="{_rewrite_href(m.group(2))}">{m.group(1)}</a>',
+        text,
+    )
+    text = re.sub(r"\*\*([^*]+)\*\*", r"<strong>\1</strong>", text)
+    text = re.sub(r"(?<![\w*])\*([^*\s][^*]*)\*", r"<em>\1</em>", text)
+    return text
+
+
+def _rewrite_href(href: str) -> str:
+    """Internal ``.md`` links become ``.html`` links in the rendered site."""
+    if href.startswith(("http://", "https://", "mailto:")):
+        return href
+    page, _, anchor = href.partition("#")
+    if page.endswith(".md"):
+        page = page[:-3] + ".html"
+    return page + (f"#{anchor}" if anchor else "")
+
+
+def markdown_to_html(markdown: str) -> Tuple[str, List[str], List[str]]:
+    """Render a markdown page.
+
+    Returns ``(html body, anchors defined, internal links referenced)``.
+    """
+    lines = markdown.split("\n")
+    out: List[str] = []
+    anchors: List[str] = []
+    links: List[str] = []
+    index = 0
+    in_list: str = ""
+
+    # Collect internal links from prose only — text inside code fences is
+    # rendered literally and must not be link-checked.
+    prose = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    for match in re.finditer(r"\[[^\]]+\]\(([^)\s]+)\)", prose):
+        href = match.group(1)
+        if not href.startswith(("http://", "https://", "mailto:")):
+            links.append(href)
+
+    def close_list() -> None:
+        nonlocal in_list
+        if in_list:
+            out.append(f"</{in_list}>")
+            in_list = ""
+
+    while index < len(lines):
+        line = lines[index]
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            close_list()
+            index += 1
+            block: List[str] = []
+            while index < len(lines) and not lines[index].strip().startswith("```"):
+                block.append(lines[index])
+                index += 1
+            index += 1  # closing fence
+            code = html.escape("\n".join(block))
+            out.append(f"<pre><code>{code}</code></pre>")
+            continue
+        heading = re.match(r"^(#{1,6})\s+(.*)$", stripped)
+        if heading:
+            close_list()
+            level = len(heading.group(1))
+            title = heading.group(2)
+            slug = slugify(title)
+            anchors.append(slug)
+            out.append(f'<h{level} id="{slug}">{_inline(title)}</h{level}>')
+            index += 1
+            continue
+        if stripped.startswith("|") and stripped.endswith("|"):
+            close_list()
+            rows: List[List[str]] = []
+            while index < len(lines) and lines[index].strip().startswith("|"):
+                cells = [c.strip() for c in lines[index].strip().strip("|").split("|")]
+                if not all(re.fullmatch(r":?-+:?", c) for c in cells):
+                    rows.append(cells)
+                index += 1
+            out.append("<table>")
+            for row_index, row in enumerate(rows):
+                tag = "th" if row_index == 0 else "td"
+                out.append(
+                    "<tr>" + "".join(f"<{tag}>{_inline(c)}</{tag}>" for c in row) + "</tr>"
+                )
+            out.append("</table>")
+            continue
+        bullet = re.match(r"^[-*]\s+(.*)$", stripped)
+        ordered = re.match(r"^\d+\.\s+(.*)$", stripped)
+        if bullet or ordered:
+            wanted = "ul" if bullet else "ol"
+            if in_list != wanted:
+                close_list()
+                out.append(f"<{wanted}>")
+                in_list = wanted
+            item = (bullet or ordered).group(1)
+            # Continuation lines (indented) belong to the same item.
+            index += 1
+            while index < len(lines) and lines[index].startswith("  ") and lines[index].strip():
+                item += " " + lines[index].strip()
+                index += 1
+            out.append(f"<li>{_inline(item)}</li>")
+            continue
+        if not stripped:
+            close_list()
+            index += 1
+            continue
+        # Paragraph: gather until a blank line or a block opener.
+        paragraph = [stripped]
+        index += 1
+        while index < len(lines):
+            nxt = lines[index].strip()
+            if not nxt or nxt.startswith(("#", "```", "|", "- ", "* ")) or re.match(r"^\d+\.\s", nxt):
+                break
+            paragraph.append(nxt)
+            index += 1
+        out.append(f"<p>{_inline(' '.join(paragraph))}</p>")
+    close_list()
+    return "\n".join(out), anchors, links
+
+
+# -- API reference generation ---------------------------------------------------
+
+
+def _docstring_to_markdown(doc: str) -> str:
+    """Translate the docstrings' light reST conventions into markdown."""
+    # :class:`~repro.x.Y` / :mod:`x` / :func:`f` ... -> `Y`
+    doc = re.sub(
+        r":(?:class|mod|func|meth|attr|exc|data):`~?([^`]+)`",
+        lambda m: f"`{m.group(1).rsplit('.', 1)[-1]}`",
+        doc,
+    )
+    doc = doc.replace("``", "`")
+    # Fence doctest examples so they render as code.
+    lines = doc.split("\n")
+    out: List[str] = []
+    index = 0
+    while index < len(lines):
+        if lines[index].lstrip().startswith(">>>"):
+            out.append("```python")
+            while index < len(lines) and lines[index].strip():
+                out.append(lines[index].strip())
+                index += 1
+            out.append("```")
+        else:
+            out.append(lines[index])
+            index += 1
+    return "\n".join(out)
+
+
+def _import_object(dotted: str):
+    module_name, _, attribute = dotted.rpartition(".")
+    module = __import__(module_name, fromlist=[attribute])
+    return getattr(module, attribute)
+
+
+def api_page_markdown(dotted: str) -> str:
+    """A markdown API page for one class, generated from its docstrings."""
+    cls = _import_object(dotted)
+    lines: List[str] = [f"# `{cls.__name__}`", ""]
+    lines.append(f"*Defined in `{cls.__module__}`.*")
+    lines.append("")
+    lines.append(_docstring_to_markdown(inspect.getdoc(cls) or "(no class docstring)"))
+    lines.append("")
+    members = []
+    for name, member in inspect.getmembers(cls):
+        if name.startswith("_") and name != "__init__":
+            continue
+        if not (inspect.isfunction(member) or isinstance(
+            inspect.getattr_static(cls, name, None), property
+        )):
+            continue
+        members.append((name, member))
+    for name, member in members:
+        static = inspect.getattr_static(cls, name)
+        if isinstance(static, property):
+            lines.append(f"## `{name}` *(property)*")
+            doc = inspect.getdoc(static.fget) if static.fget else None
+        else:
+            try:
+                signature = str(inspect.signature(member))
+            except (TypeError, ValueError):  # pragma: no cover - builtins
+                signature = "(...)"
+            shown = cls.__name__ if name == "__init__" else name
+            lines.append(f"## `{shown}{signature}`")
+            doc = inspect.getdoc(member)
+        lines.append("")
+        lines.append(_docstring_to_markdown(doc) if doc else "(undocumented)")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# -- the build ------------------------------------------------------------------
+
+
+def build(out_dir: Path) -> List[str]:
+    """Build the site into ``out_dir``; return a list of broken-link errors."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if out_dir.exists():
+        shutil.rmtree(out_dir)
+    (out_dir / "api").mkdir(parents=True)
+
+    sources: Dict[str, str] = {}
+    for path in sorted(DOCS_DIR.glob("*.md")):
+        sources[path.name] = path.read_text(encoding="utf-8")
+    for page, dotted in API_SURFACE.items():
+        sources[f"api/{page}.md"] = api_page_markdown(dotted)
+
+    nav_parts = ['<a href="{root}index.html">repro docs</a>']
+    page_anchors: Dict[str, List[str]] = {}
+    page_links: Dict[str, List[str]] = {}
+    for name, markdown in sources.items():
+        body, anchors, links = markdown_to_html(markdown)
+        page_anchors[name] = anchors
+        page_links[name] = links
+        depth = name.count("/")
+        root = "../" * depth
+        nav = " · ".join(part.format(root=root) for part in nav_parts)
+        title_match = re.search(r"^#\s+(.*)$", markdown, re.MULTILINE)
+        title = re.sub(r"`", "", title_match.group(1)) if title_match else name
+        target = out_dir / (name[:-3] + ".html")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            _PAGE_TEMPLATE.format(title=html.escape(title), nav=nav, body=body),
+            encoding="utf-8",
+        )
+
+    errors: List[str] = []
+    for name, links in page_links.items():
+        base = Path(name).parent
+        for link in links:
+            page, _, anchor = link.partition("#")
+            if page:
+                resolved = (base / page).as_posix()
+                resolved = re.sub(r"^(\./)+", "", resolved)
+                # Normalise ../ segments.
+                parts: List[str] = []
+                for part in resolved.split("/"):
+                    if part == "..":
+                        if parts:
+                            parts.pop()
+                    elif part != ".":
+                        parts.append(part)
+                resolved = "/".join(parts)
+                if resolved not in sources:
+                    errors.append(f"{name}: broken link target {link!r}")
+                    continue
+            else:
+                resolved = name
+            if anchor and anchor not in page_anchors.get(resolved, []):
+                errors.append(f"{name}: broken anchor {link!r}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=DOCS_DIR / "_site", help="output directory"
+    )
+    arguments = parser.parse_args()
+    errors = build(arguments.out)
+    pages = sorted(p.relative_to(arguments.out).as_posix() for p in arguments.out.rglob("*.html"))
+    print(f"built {len(pages)} page(s) into {arguments.out}:")
+    for page in pages:
+        print(f"  {page}")
+    if errors:
+        print("\nbroken internal links:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print("all internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,12 @@ coalescing.  This package implements that foundation end to end:
 ``repro.tsql``
     a small temporal SQL front end that produces initial algebra plans.
 
+``repro.session``
+    the unified query lifecycle: a ``Session`` façade running parse →
+    translate → optimize → execute, an LRU plan cache keyed by statement
+    fingerprint and statistics epoch, ``?`` parameter binding, and
+    ``EXPLAIN [ANALYZE]`` with per-operator estimates vs. actuals.
+
 ``repro.workloads``
     the paper's example relations and scalable synthetic temporal workloads
     used by the examples, tests and benchmarks.
@@ -57,7 +63,8 @@ from . import core
 from .core import *  # noqa: F401,F403 - the core API is the package API
 from .core import __all__ as _core_all
 from .stratum import TemporalDatabase
+from .session import Session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["TemporalDatabase", "__version__"] + list(_core_all)
+__all__ = ["Session", "TemporalDatabase", "__version__"] + list(_core_all)

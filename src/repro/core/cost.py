@@ -297,31 +297,82 @@ def estimate_cost(
     the plan: the root runs in ``engine`` (the stratum unless the plan is a
     DBMS-side fragment), everything below a ``TS`` runs in the DBMS, and a
     ``TD`` below that switches back to the stratum.
+
+    Implemented as the sum over :func:`cost_annotations` — one walk, one
+    source of truth, so EXPLAIN's per-operator numbers always add up to the
+    totals the optimizer compares.
+    """
+    annotations = cost_annotations(plan, statistics, model, engine, estimator)
+    entries = list(annotations.values())  # post-order (children before parents)
+    return PlanCost(
+        total=sum(annotation.work for annotation in entries),
+        output_cardinality=annotations[()].output_cardinality,
+        breakdown=[
+            (annotation.label, annotation.engine, annotation.work)
+            for annotation in reversed(entries)
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class OperatorCostAnnotation:
+    """Per-node costing detail for one operator of a plan.
+
+    Produced by :func:`cost_annotations` and consumed by the EXPLAIN
+    rendering of :mod:`repro.session`: estimated input/output cardinalities,
+    the engine assignment the transfer operations imply, and the operator's
+    own work contribution (engine factor applied).
+    """
+
+    label: str
+    engine: str
+    input_cardinalities: PyTuple[float, ...]
+    output_cardinality: float
+    work: float
+
+
+def cost_annotations(
+    plan: Operation,
+    statistics: Optional[Mapping[str, int]] = None,
+    model: Optional[CostModel] = None,
+    engine: str = Engine.STRATUM,
+    estimator=None,
+) -> Dict[PyTuple[int, ...], OperatorCostAnnotation]:
+    """Per-node cost annotations of ``plan``, keyed by plan path.
+
+    The estimates are exactly the ones :func:`estimate_cost` computes — the
+    same bottom-up walk, recorded per node instead of summed — so the sum of
+    all ``work`` entries equals ``estimate_cost(...).total``.
     """
     model = model or CostModel()
     statistics = statistics or {}
-    breakdown: List[PyTuple[str, str, float]] = []
+    annotations: Dict[PyTuple[int, ...], OperatorCostAnnotation] = {}
 
-    def visit(node: Operation, engine: str) -> PyTuple[float, float]:
-        """Return (cumulative cost, estimated output cardinality)."""
+    def visit(node: Operation, engine: str, path: PyTuple[int, ...]) -> float:
         child_engine = engine
         if isinstance(node, TransferToStratum):
             child_engine = Engine.DBMS
         elif isinstance(node, TransferToDBMS):
             child_engine = Engine.STRATUM
-        child_costs: List[float] = []
-        child_cards: List[float] = []
-        for child in node.children:
-            cost, cardinality = visit(child, child_engine)
-            child_costs.append(cost)
-            child_cards.append(cardinality)
+        child_cards = [
+            visit(child, child_engine, path + (index,))
+            for index, child in enumerate(node.children)
+        ]
         output = _node_output(node, child_cards, statistics, model, estimator)
-        work = _operator_work(node, child_cards, output, model) * _engine_factor(node, engine, model)
-        breakdown.append((node.label(), engine, work))
-        return sum(child_costs) + work, output
+        work = _operator_work(node, child_cards, output, model) * _engine_factor(
+            node, engine, model
+        )
+        annotations[path] = OperatorCostAnnotation(
+            label=node.label(),
+            engine=engine,
+            input_cardinalities=tuple(child_cards),
+            output_cardinality=output,
+            work=work,
+        )
+        return output
 
-    total, output = visit(plan, engine)
-    return PlanCost(total=total, output_cardinality=output, breakdown=list(reversed(breakdown)))
+    visit(plan, engine, ())
+    return annotations
 
 
 def measure_cost(

@@ -100,5 +100,20 @@ class PartitionError(EngineError):
     unbalanced transfer operations)."""
 
 
+class ParameterError(ReproError):
+    """A statement's positional parameters were bound inconsistently (wrong
+    count, or execution of a plan that still contains unbound markers)."""
+
+
 class ParseError(ReproError):
-    """The temporal SQL front end could not parse the input statement."""
+    """The temporal SQL front end could not parse the input statement.
+
+    ``position`` is the zero-based character offset of the offending token in
+    the input text when the front end knows it, ``None`` otherwise — error
+    messages always embed the offset textually, but tools (editors, the test
+    suite's error-position assertions) want it structurally.
+    """
+
+    def __init__(self, message: str, position: "int | None" = None) -> None:
+        super().__init__(message)
+        self.position = position

@@ -92,6 +92,34 @@ class Literal(Expression):
         return repr(self.value)
 
 
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A positional parameter marker (``?``) awaiting a constant.
+
+    Parameters let textually different invocations of the same statement
+    share one optimized plan: the plan cache fingerprints the statement with
+    the markers in place, and :func:`repro.session.bind_parameters`
+    substitutes :class:`Literal` values into the cached plan at execution
+    time.  Evaluating an unbound parameter is an error by construction.
+    """
+
+    index: int
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, tup: Tuple) -> Any:
+        raise EvaluationError(
+            f"parameter ?{self.index + 1} is unbound; pass params=... when executing"
+        )
+
+    def to_sql(self) -> str:
+        return "?"
+
+    def __str__(self) -> str:
+        return "?"
+
+
 class ComparisonOperator(Enum):
     """Binary comparison operators usable in predicates."""
 

@@ -1,0 +1,101 @@
+"""Stable structural fingerprints for plans and front-end ASTs.
+
+The plan cache of :mod:`repro.session` needs a key that identifies *what* a
+statement computes, independent of irrelevant surface detail: two executions
+of the same statement text — or of two texts that parse to the same AST
+(whitespace, keyword case, redundant parentheses) — must map to the same
+cache entry.  Python's built-in ``hash`` is unsuitable (strings are salted
+per process), so fingerprints are SHA-256 digests over a canonical recursive
+encoding of the structure.
+
+Two entry points:
+
+* :func:`plan_fingerprint` — fingerprint of an algebra plan, built on
+  :meth:`repro.core.operations.base.Operation.signature`;
+* :func:`structural_fingerprint` — fingerprint of any value assembled from
+  dataclasses, enums, tuples/lists/dicts and scalars (used by the session
+  layer to fingerprint parsed :class:`repro.tsql.ast.Statement` objects).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from enum import Enum
+from typing import Any, Iterator
+
+from .operations.base import Operation
+
+#: Number of hex digits kept from the SHA-256 digest.  64 bits of digest is
+#: far beyond what a plan cache holding thousands of entries can collide on,
+#: and keeps fingerprints readable in EXPLAIN output and logs.
+FINGERPRINT_HEX_DIGITS = 16
+
+
+def _encode(value: Any) -> Iterator[str]:
+    """Yield a canonical, type-tagged token stream for ``value``."""
+    if isinstance(value, Operation):
+        yield "op("
+        yield type(value).__name__
+        for param in value.params():
+            yield from _encode(param)
+        for child in value.children:
+            yield from _encode(child)
+        yield ")"
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        yield "dc("
+        yield type(value).__name__
+        for field in dataclasses.fields(value):
+            yield field.name
+            yield from _encode(getattr(value, field.name))
+        yield ")"
+    elif isinstance(value, Enum):
+        yield f"enum({type(value).__name__}:{value.name})"
+    elif isinstance(value, (tuple, list)):
+        yield "seq("
+        for item in value:
+            yield from _encode(item)
+        yield ")"
+    elif isinstance(value, dict):
+        yield "map("
+        for key in sorted(value, key=repr):
+            yield from _encode(key)
+            yield from _encode(value[key])
+        yield ")"
+    elif isinstance(value, frozenset):
+        yield "set("
+        for item in sorted(value, key=repr):
+            yield from _encode(item)
+        yield ")"
+    elif isinstance(value, bool) or value is None:
+        yield f"atom({value!r})"
+    elif isinstance(value, (int, float, str, bytes)):
+        # The type tag keeps 1, 1.0 and "1" distinct.
+        yield f"{type(value).__name__}({value!r})"
+    elif callable(value):
+        # Predicates stored as callables (e.g. schema domains): identify by
+        # name — the enclosing structure provides the distinguishing context.
+        yield f"fn({getattr(value, '__qualname__', repr(value))})"
+    else:
+        # Objects with a signature() (OrderSpec-like) or a stable repr.
+        signature = getattr(value, "signature", None)
+        if callable(signature):
+            yield "sig("
+            yield from _encode(signature())
+            yield ")"
+        else:
+            yield f"repr({type(value).__name__}:{value!r})"
+
+
+def structural_fingerprint(value: Any) -> str:
+    """A stable hex fingerprint of any structurally encodable value."""
+    digest = hashlib.sha256()
+    for token in _encode(value):
+        digest.update(token.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:FINGERPRINT_HEX_DIGITS]
+
+
+def plan_fingerprint(plan: Operation) -> str:
+    """A stable hex fingerprint of an algebra plan's structure."""
+    return structural_fingerprint(plan)

@@ -101,7 +101,13 @@ class TableStatistics:
 
 
 class Table:
-    """A stored table: schema, rows, clustering order and statistics."""
+    """A stored table: schema, rows, clustering order and statistics.
+
+    ``version`` counts the content changes the table has seen (each
+    :meth:`insert` or :meth:`replace` bumps it); a table registered in a
+    :class:`Catalog` additionally notifies the catalog, whose
+    :attr:`~Catalog.epoch` the plan cache of :mod:`repro.session` keys on.
+    """
 
     def __init__(
         self,
@@ -113,6 +119,8 @@ class Table:
         self.name = name
         self.schema = schema.rename(name)
         self.clustering = clustering or OrderSpec.unordered()
+        self.version = 0
+        self._owner: Optional["Catalog"] = None
         if rows is None:
             self._relation = Relation.empty(self.schema)
         else:
@@ -146,6 +154,8 @@ class Table:
         new_tuples.extend(batch)
         self._relation = Relation(self.schema, new_tuples, order=OrderSpec.unordered())
         self.statistics.observe(batch)
+        if batch:
+            self._bump()
         return len(batch)
 
     def replace(self, relation: Relation) -> None:
@@ -157,6 +167,13 @@ class Table:
             )
         self._relation = Relation(self.schema, relation.tuples, order=relation.order)
         self.statistics = TableStatistics.from_relation(self._relation)
+        self._bump()
+
+    def _bump(self) -> None:
+        """Record a content change (and advance the owning catalog's epoch)."""
+        self.version += 1
+        if self._owner is not None:
+            self._owner._advance_epoch()
 
     def profile(self) -> TableProfile:
         """The table's collected statistics as a :class:`TableProfile`."""
@@ -164,10 +181,21 @@ class Table:
 
 
 class Catalog:
-    """The DBMS catalog: a name -> :class:`Table` mapping."""
+    """The DBMS catalog: a name -> :class:`Table` mapping.
+
+    :attr:`epoch` is a monotone counter advanced by every statistics-relevant
+    change — table creation, drop, row inserts and wholesale replacement.
+    Optimized plans are only as good as the statistics they were costed
+    against, so the plan cache of :mod:`repro.session` keys its entries on
+    this epoch: any change invalidates every previously cached plan.
+    """
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
+        self.epoch = 0
+
+    def _advance_epoch(self) -> None:
+        self.epoch += 1
 
     def create_table(
         self,
@@ -180,14 +208,18 @@ class Catalog:
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(name, schema, rows, clustering)
+        table._owner = self
         self._tables[name] = table
+        self._advance_epoch()
         return table
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog."""
         if name not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
+        self._tables[name]._owner = None
         del self._tables[name]
+        self._advance_epoch()
 
     def table(self, name: str) -> Table:
         """Look up a table; raise :class:`CatalogError` if missing."""

@@ -82,6 +82,10 @@ class ConventionalDBMS:
         """Cardinality per table (consumed by the stratum's cost model)."""
         return self.catalog.statistics()
 
+    def statistics_epoch(self) -> int:
+        """The catalog's statistics epoch (see :attr:`Catalog.epoch`)."""
+        return self.catalog.epoch
+
     def estimator(self, **kwargs):
         """A histogram-backed estimator over the current catalog contents."""
         return self.catalog.estimator(**kwargs)

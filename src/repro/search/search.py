@@ -115,6 +115,9 @@ class SearchResult:
     best_cost: PlanCost
     statistics: SearchStatistics
     memo: Memo
+    #: Rule names that derived the chosen plan's expressions (with
+    #: multiplicity, pre-order); empty when the seed plan itself won.
+    rules_applied: PyTuple[str, ...] = ()
 
 
 @dataclass
@@ -130,6 +133,21 @@ class _Entry:
         return self.expression.shell.with_children(
             [child.build() for child in self.children]
         )
+
+    def rules(self) -> List[str]:
+        """Names of the rules that derived the expressions of this plan.
+
+        Pre-order over the entry tree; expressions interned directly from
+        the seed plan (``rule_name is None``) contribute nothing.  This is
+        the chosen plan's *provenance* — the part of the catalogue that
+        actually produced it — surfaced by ``EXPLAIN``.
+        """
+        names: List[str] = []
+        if self.expression.rule_name is not None:
+            names.append(self.expression.rule_name)
+        for child in self.children:
+            names.extend(child.rules())
+        return names
 
 
 def _child_engine(shell: Operation, engine: str) -> str:
@@ -334,14 +352,17 @@ class MemoSearch:
             estimator=self.estimator,
         )
         frontier = extractor.frontier(memo.find(root), self.root_engine)
+        rules_applied: PyTuple[str, ...] = ()
         if frontier:
             best_plan = frontier[0].build()
             best_cost = estimate_cost(
                 best_plan, statistics_map, self.cost_model, engine=self.root_engine,
                 estimator=self.estimator,
             )
+            rules_applied = tuple(frontier[0].rules())
             if best_cost.total > seed_cost.total:
                 best_plan, best_cost = seed, seed_cost
+                rules_applied = ()
         else:  # pragma: no cover - the seed always survives its own bound
             best_plan, best_cost = seed, seed_cost
         return SearchResult(
@@ -350,6 +371,7 @@ class MemoSearch:
             best_cost=best_cost,
             statistics=search_statistics,
             memo=memo,
+            rules_applied=rules_applied,
         )
 
 

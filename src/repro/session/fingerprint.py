@@ -1,0 +1,30 @@
+"""Fingerprinting parsed statements for the plan cache.
+
+The cache key must identify *what a statement computes*, not how it was
+typed: ``select x from t`` and ``SELECT  x  FROM t`` parse to the same AST
+and must share an entry, and ``EXPLAIN <q>`` must reuse the plan cached for
+``<q>``.  Parameter markers are part of the fingerprint (``WHERE x = ?``
+with different bound constants is *one* statement shape), while inline
+literals are not normalized away — ``WHERE x = 1`` and ``WHERE x = 2`` are
+distinct statements with potentially different optimal plans.  Callers that
+want constant-folding behaviour opt in by writing markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.fingerprint import structural_fingerprint
+from ..tsql.ast import Statement
+
+
+def statement_fingerprint(statement: Statement) -> str:
+    """A stable hex fingerprint of a parsed statement.
+
+    The ``EXPLAIN``/``ANALYZE`` prefix is stripped before hashing — it asks
+    for a different *presentation* of the same plan, so explain output always
+    reflects (and populates) the entry the plain statement would use.
+    """
+    if statement.explain or statement.analyze:
+        statement = replace(statement, explain=False, analyze=False)
+    return structural_fingerprint(statement)

@@ -1,0 +1,139 @@
+"""Binding positional parameters into (cached) algebra plans.
+
+A statement with ``?`` markers is parsed, translated and *optimized once*
+with :class:`~repro.core.expressions.Parameter` placeholders in its
+predicates and projection functions; every execution then substitutes that
+call's constants into a structural copy of the cached plan.  Binding is a
+pure tree rewrite — nodes and expressions without parameters are shared, not
+copied — so a cache hit costs a plan walk, not an optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Sequence, Set, Tuple as PyTuple
+
+from ..core.exceptions import ParameterError
+from ..core.expressions import (
+    And,
+    Arithmetic,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+    Parameter,
+    ProjectionItem,
+)
+from ..core.operations import Operation
+
+ExpressionMapper = Callable[[Expression], Expression]
+
+
+def map_expression(expression: Expression, mapper: ExpressionMapper) -> Expression:
+    """Rebuild ``expression`` bottom-up, applying ``mapper`` to every node.
+
+    ``mapper`` receives each (already rebuilt) node and may return a
+    replacement; identical results keep the original object, so untouched
+    subtrees stay shared.
+    """
+    rebuilt = expression
+    if isinstance(expression, Comparison):
+        left = map_expression(expression.left, mapper)
+        right = map_expression(expression.right, mapper)
+        if left is not expression.left or right is not expression.right:
+            rebuilt = Comparison(expression.operator, left, right)
+    elif isinstance(expression, Arithmetic):
+        left = map_expression(expression.left, mapper)
+        right = map_expression(expression.right, mapper)
+        if left is not expression.left or right is not expression.right:
+            rebuilt = Arithmetic(expression.operator, left, right)
+    elif isinstance(expression, And):
+        operands = [map_expression(operand, mapper) for operand in expression.operands]
+        if any(new is not old for new, old in zip(operands, expression.operands)):
+            rebuilt = And(*operands)
+    elif isinstance(expression, Or):
+        operands = [map_expression(operand, mapper) for operand in expression.operands]
+        if any(new is not old for new, old in zip(operands, expression.operands)):
+            rebuilt = Or(*operands)
+    elif isinstance(expression, Not):
+        operand = map_expression(expression.operand, mapper)
+        if operand is not expression.operand:
+            rebuilt = Not(operand)
+    return mapper(rebuilt)
+
+
+def map_plan_expressions(plan: Operation, mapper: ExpressionMapper) -> Operation:
+    """Apply ``mapper`` to every expression appearing in a plan's parameters.
+
+    Expressions live in operator parameters — selection and join predicates,
+    projection items — which :meth:`~repro.core.operations.base.Operation.params`
+    exposes uniformly; the node is rebuilt through its own constructor, the
+    same way ``with_children`` does.  Unchanged subtrees are shared.
+    """
+    new_children = [map_plan_expressions(child, mapper) for child in plan.children]
+    new_params: List[object] = []
+    params_changed = False
+    for param in plan.params():
+        mapped = _map_param(param, mapper)
+        params_changed = params_changed or mapped is not param
+        new_params.append(mapped)
+    children_changed = any(
+        new is not old for new, old in zip(new_children, plan.children)
+    )
+    if not params_changed and not children_changed:
+        return plan
+    if not params_changed:
+        return plan.with_children(new_children)
+    return type(plan)(*new_params, *new_children)  # type: ignore[arg-type]
+
+
+def _map_param(param: object, mapper: ExpressionMapper) -> object:
+    if isinstance(param, Expression):
+        return map_expression(param, mapper)
+    if isinstance(param, ProjectionItem):
+        mapped = map_expression(param.expression, mapper)
+        if mapped is not param.expression:
+            return replace(param, expression=mapped)
+        return param
+    if isinstance(param, (tuple, list)):
+        mapped_items = [_map_param(item, mapper) for item in param]
+        if any(new is not old for new, old in zip(mapped_items, param)):
+            return tuple(mapped_items)
+        return param
+    return param
+
+
+def collect_parameters(plan: Operation) -> PyTuple[int, ...]:
+    """The sorted parameter indexes appearing anywhere in ``plan``."""
+    found: Set[int] = set()
+
+    def record(expression: Expression) -> Expression:
+        if isinstance(expression, Parameter):
+            found.add(expression.index)
+        return expression
+
+    map_plan_expressions(plan, record)
+    return tuple(sorted(found))
+
+
+def bind_parameters(plan: Operation, values: Sequence[object]) -> Operation:
+    """Substitute positional ``values`` for the plan's ``?`` markers.
+
+    Values are taken in marker order (left to right in the statement text);
+    the count must match exactly.  Returns a new plan sharing every
+    parameter-free subtree with the input.
+    """
+    indexes = collect_parameters(plan)
+    if len(values) != len(indexes):
+        expected = len(indexes)
+        raise ParameterError(
+            f"statement has {expected} parameter marker(s), got {len(values)} value(s)"
+        )
+
+    def substitute(expression: Expression) -> Expression:
+        if isinstance(expression, Parameter):
+            return Literal(values[indexes.index(expression.index)])
+        return expression
+
+    return map_plan_expressions(plan, substitute)

@@ -1,0 +1,316 @@
+"""The :class:`Session` façade: parse → translate → optimize → execute.
+
+One object drives the whole query lifecycle the layers below implement:
+
+* :mod:`repro.tsql` lexes/parses the statement and translates it to the
+  initial algebra plan plus its Definition 5.1 result specification;
+* the :class:`~repro.stratum.layer.TemporalQueryOptimizer` (memo search by
+  default) rewrites the plan under the rule catalogue and picks the
+  cheapest alternative, consuming the catalog's statistics — and, with
+  ``use_statistics=True`` on the database, its histogram-backed
+  :class:`~repro.stats.estimator.CardinalityEstimator`;
+* the :class:`~repro.stratum.executor.StratumExecutor` runs the chosen plan
+  across the two engines.
+
+What the session adds over calling the layers directly:
+
+* a **plan cache** (:class:`~repro.session.cache.PlanCache`) keyed by
+  ``(statement fingerprint, statistics epoch)`` — repeated statements skip
+  translation and optimization entirely, and any data change invalidates by
+  moving the epoch;
+* **positional parameters**: ``?`` markers are optimized as placeholders
+  and bound per execution, so every constant variant of a statement shares
+  one cache entry;
+* **EXPLAIN** (:meth:`Session.explain`, or the ``EXPLAIN [ANALYZE]``
+  statement prefix): the chosen plan with per-operator estimated vs.
+  actual cardinalities, costs, engine assignment, optimizer counters and
+  rule provenance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple as PyTuple
+
+from ..core.cost import cost_annotations
+from ..core.exceptions import ParameterError
+from ..core.operations import Operation
+from ..core.query import QueryResultSpec
+from ..core.relation import Relation
+from ..stratum.executor import StratumExecutionReport, StratumExecutor
+from ..stratum.layer import OptimizationOutcome, TemporalDatabase
+from ..stratum.partition import partition_plan
+from ..tsql.ast import Statement
+from ..tsql.parser import parse_statement
+from ..tsql.translator import translate
+from ..tsql.unparse import unparse_statement
+from .cache import CachedPlan, PlanCache, PlanCacheInfo, PlanCacheKey
+from .explain import ExplainReport, actual_cardinalities, build_operator_lines
+from .fingerprint import statement_fingerprint
+from .parameters import bind_parameters
+
+
+@dataclass(frozen=True)
+class SessionTimings:
+    """Wall-clock seconds spent in each lifecycle stage of one execution.
+
+    ``plan_seconds`` covers everything between parsing and execution —
+    cache lookup plus, on a miss, translation and optimization.  The plan
+    cache's entire point is visible here: on a hit it collapses to the
+    lookup.  For an ``EXPLAIN`` statement ``execute_seconds`` covers the
+    report construction, including the ANALYZE execution when requested.
+    """
+
+    parse_seconds: float
+    plan_seconds: float
+    execute_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.parse_seconds + self.plan_seconds + self.execute_seconds
+
+
+@dataclass
+class SessionResult:
+    """The full record of one :meth:`Session.execute` call."""
+
+    statement: str
+    relation: Optional[Relation]
+    query_spec: QueryResultSpec
+    optimization: OptimizationOutcome
+    plan: Operation
+    cache_hit: bool
+    fingerprint: str
+    epoch: int
+    parameters: PyTuple[object, ...]
+    timings: SessionTimings
+    report: Optional[StratumExecutionReport] = None
+    explain: Optional[ExplainReport] = None
+
+
+class Session:
+    """A query session over a :class:`~repro.stratum.layer.TemporalDatabase`.
+
+    Sessions are cheap; the expensive state (tables, statistics) lives in
+    the database, the session holds the plan cache.  Several sessions over
+    one database are fine — each keeps its own cache, all invalidate
+    correctly through the shared statistics epoch.
+
+    >>> from repro.session import Session
+    >>> from repro.workloads import employee_relation, project_relation
+    >>> session = Session()
+    >>> session.database.register("EMPLOYEE", employee_relation())
+    >>> session.database.register("PROJECT", project_relation())
+    >>> result = session.query("SELECT EmpName FROM EMPLOYEE WHERE Dept = ?",
+    ...                        params=("Advertising",))
+    >>> sorted({t["EmpName"] for t in result.tuples})
+    ['Anna', 'John']
+    """
+
+    def __init__(
+        self,
+        database: Optional[TemporalDatabase] = None,
+        cache_size: int = 128,
+    ) -> None:
+        self.database = database or TemporalDatabase()
+        self.cache = PlanCache(cache_size)
+
+    # -- the lifecycle ------------------------------------------------------------
+
+    def execute(
+        self, statement: str, params: Sequence[object] = ()
+    ) -> SessionResult:
+        """Run a statement end to end; ``EXPLAIN`` statements return a report.
+
+        For a plain statement the result carries the relation, the (possibly
+        cached) optimization outcome and the execution report; for an
+        ``EXPLAIN [ANALYZE]`` statement ``relation`` is ``None`` and
+        ``explain`` holds the :class:`~repro.session.explain.ExplainReport`.
+        """
+        started = time.perf_counter()
+        ast = parse_statement(statement)
+        parse_seconds = time.perf_counter() - started
+        if ast.explain:
+            entry, hit, plan_seconds = self._plan(ast)
+            explain_started = time.perf_counter()
+            report = self._explain_entry(
+                entry, hit, params, analyze=ast.analyze, text=statement
+            )
+            explain_seconds = time.perf_counter() - explain_started
+            return SessionResult(
+                statement=statement,
+                relation=None,
+                query_spec=entry.query_spec,
+                optimization=entry.optimization,
+                plan=entry.plan,
+                cache_hit=hit,
+                fingerprint=entry.key.fingerprint,
+                epoch=entry.key.epoch,
+                parameters=tuple(params),
+                timings=SessionTimings(parse_seconds, plan_seconds, explain_seconds),
+                explain=report,
+            )
+        entry, hit, plan_seconds = self._plan(ast)
+        bound = self._bind(entry, params)
+        executor = StratumExecutor(self.database.dbms)
+        execute_started = time.perf_counter()
+        relation = executor.execute(bound)
+        execute_seconds = time.perf_counter() - execute_started
+        return SessionResult(
+            statement=statement,
+            relation=relation,
+            query_spec=entry.query_spec,
+            optimization=entry.optimization,
+            plan=bound,
+            cache_hit=hit,
+            fingerprint=entry.key.fingerprint,
+            epoch=entry.key.epoch,
+            parameters=tuple(params),
+            timings=SessionTimings(parse_seconds, plan_seconds, execute_seconds),
+            report=executor.report,
+        )
+
+    def query(self, statement: str, params: Sequence[object] = ()):
+        """Execute and return the result relation (or, for EXPLAIN, the text)."""
+        result = self.execute(statement, params)
+        if result.explain is not None:
+            return result.explain.render()
+        return result.relation
+
+    def explain(
+        self,
+        statement: str,
+        params: Sequence[object] = (),
+        analyze: bool = True,
+    ) -> ExplainReport:
+        """The chosen plan for ``statement``, annotated per operator.
+
+        With ``analyze=True`` (the default) the plan is also executed and
+        every operator's actual output cardinality is reported next to its
+        estimate; ``analyze=False`` skips execution and reports estimates
+        only.  The lookup populates the same cache ``execute`` uses.
+        """
+        ast = parse_statement(statement)
+        entry, hit = self._entry_for(ast)
+        return self._explain_entry(
+            entry, hit, params, analyze=analyze or ast.analyze, text=statement
+        )
+
+    def cache_info(self) -> PlanCacheInfo:
+        """Plan-cache counters (hits, misses, evictions, invalidations)."""
+        return self.cache.info()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _plan(self, ast: Statement) -> "PyTuple[CachedPlan, bool, float]":
+        started = time.perf_counter()
+        entry, hit = self._entry_for(ast)
+        return entry, hit, time.perf_counter() - started
+
+    def _entry_for(self, ast: Statement) -> "PyTuple[CachedPlan, bool]":
+        database = self.database
+        fingerprint = statement_fingerprint(ast)
+        epoch = database.statistics_epoch()
+        key = PlanCacheKey(fingerprint=fingerprint, epoch=epoch)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, True
+        self.cache.purge_stale(epoch)
+        if ast.explain or ast.analyze:
+            ast = replace(ast, explain=False, analyze=False)
+        initial_plan, query_spec = translate(ast, self._schemas())
+        optimization = database.optimize_plan(initial_plan, query_spec)
+        entry = CachedPlan(
+            key=key,
+            plan=optimization.chosen_plan,
+            query_spec=query_spec,
+            optimization=optimization,
+            parameter_count=ast.parameter_count,
+            normalized_statement=unparse_statement(ast),
+        )
+        self.cache.put(entry)
+        return entry, False
+
+    def _bind(self, entry: CachedPlan, params: Sequence[object]) -> Operation:
+        if entry.parameter_count == 0 and not params:
+            return entry.plan
+        if len(params) != entry.parameter_count:
+            raise ParameterError(
+                f"statement has {entry.parameter_count} parameter marker(s), "
+                f"got {len(params)} value(s)"
+            )
+        return bind_parameters(entry.plan, params)
+
+    def _explain_entry(
+        self,
+        entry: CachedPlan,
+        hit: bool,
+        params: Sequence[object],
+        analyze: bool,
+        text: str,
+    ) -> ExplainReport:
+        database = self.database
+        if not analyze and not params and entry.parameter_count:
+            # Estimates-only explain of a parameterized statement: the
+            # markers stay unbound (selectivities fall back to constants).
+            bound = entry.plan
+        else:
+            bound = self._bind(entry, params)
+        estimator = database.estimator() if database.use_statistics else None
+        annotations = cost_annotations(
+            bound,
+            database.statistics(),
+            database.optimizer.cost_model,
+            estimator=estimator,
+        )
+        actuals = None
+        report = None
+        result_rows = None
+        if analyze:
+            executor = StratumExecutor(database.dbms)
+            relation = executor.execute(bound)
+            report = executor.report
+            result_rows = len(relation)
+            # The executor already counted every node it evaluated itself; a
+            # reference walk breaks out only the operators inside DBMS
+            # fragments, which the substrate executed as one opaque call.
+            actuals = {}
+            context = database.evaluation_context()
+            for fragment_path in partition_plan(bound).dbms_fragments:
+                fragment_counts = actual_cardinalities(
+                    bound.subtree_at(fragment_path), context
+                )
+                actuals.update(
+                    (fragment_path + path, count)
+                    for path, count in fragment_counts.items()
+                )
+            actuals.update(report.node_rows)
+        optimization = entry.optimization
+        search = optimization.search
+        return ExplainReport(
+            statement=text,
+            normalized_statement=entry.normalized_statement,
+            fingerprint=entry.key.fingerprint,
+            epoch=entry.key.epoch,
+            cache_hit=hit,
+            analyze=analyze,
+            query_spec=entry.query_spec,
+            plan=bound,
+            lines=build_operator_lines(bound, annotations, actuals),
+            estimated_cost=optimization.chosen_cost.total,
+            initial_cost=optimization.initial_cost.total,
+            plans_considered=optimization.plans_considered,
+            memo_groups=None if search is None else search.statistics.groups,
+            memo_expressions=None if search is None else search.statistics.expressions,
+            sweeps=None if search is None else search.statistics.sweeps,
+            rule_usage=dict(search.statistics.rule_usage) if search is not None else {},
+            rules_applied=() if search is None else search.rules_applied,
+            dbms_calls=None if report is None else report.dbms_calls,
+            transferred_tuples=None if report is None else report.transferred_tuples,
+            result_rows=result_rows,
+        )
+
+    def _schemas(self):
+        catalog = self.database.dbms.catalog
+        return {name: catalog.table(name).schema for name in catalog.table_names()}

@@ -16,7 +16,9 @@ Execution is recursive over the plan:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence
+
+from ..core.operations.base import PlanPath, ROOT_PATH
 
 from ..core.exceptions import EngineError
 from ..core.operations import (
@@ -51,6 +53,12 @@ class StratumExecutionReport:
     stratum_operations: int = 0
     implicit_transfers: int = 0
     transferred_tuples: int = 0
+    #: Actual output cardinality per plan node the stratum itself evaluated,
+    #: keyed by plan path.  Nodes *inside* a DBMS fragment are executed by
+    #: the substrate as one opaque call and are not broken out here (the
+    #: fragment's total lands on the enclosing ``TS`` path); EXPLAIN ANALYZE
+    #: fills those in with a reference walk.
+    node_rows: Dict[PlanPath, int] = field(default_factory=dict)
 
 
 class StratumExecutor:
@@ -64,17 +72,22 @@ class StratumExecutor:
     def execute(self, plan: Operation) -> Relation:
         """Execute ``plan`` and return its result relation."""
         self.report = StratumExecutionReport()
-        return self._execute_stratum(plan)
+        return self._execute_stratum(plan, ROOT_PATH)
 
     # -- stratum side ------------------------------------------------------------
 
-    def _execute_stratum(self, node: Operation) -> Relation:
+    def _execute_stratum(self, node: Operation, path: PlanPath = ROOT_PATH) -> Relation:
+        result = self._evaluate_stratum(node, path)
+        self.report.node_rows[path] = len(result)
+        return result
+
+    def _evaluate_stratum(self, node: Operation, path: PlanPath) -> Relation:
         if isinstance(node, TransferToStratum):
-            return self._execute_in_dbms(node.child)
+            return self._execute_in_dbms(node.child, path + (0,))
         if isinstance(node, TransferToDBMS):
             # A TD with stratum work above it (and no enclosing TS) simply
             # materialises in the stratum; the data stays where it is.
-            return self._execute_stratum(node.child)
+            return self._execute_stratum(node.child, path + (0,))
         if isinstance(node, BaseRelation):
             self.report.implicit_transfers += 1
             relation = self._dbms.catalog.table(node.relation_name).relation
@@ -82,7 +95,10 @@ class StratumExecutor:
             return relation
         if isinstance(node, LiteralRelation):
             return node.relation
-        child_results = [self._execute_stratum(child) for child in node.children]
+        child_results = [
+            self._execute_stratum(child, path + (index,))
+            for index, child in enumerate(node.children)
+        ]
         self.report.stratum_operations += 1
         return self._apply(node, child_results)
 
@@ -104,18 +120,19 @@ class StratumExecutor:
 
     # -- DBMS side ------------------------------------------------------------------
 
-    def _execute_in_dbms(self, fragment: Operation) -> Relation:
-        prepared = self._materialize_stratum_islands(fragment)
+    def _execute_in_dbms(self, fragment: Operation, path: PlanPath = ROOT_PATH) -> Relation:
+        prepared = self._materialize_stratum_islands(fragment, path)
         self.report.dbms_calls += 1
         result = self._dbms.execute(prepared, optimize=self._optimize_dbms_fragments)
         self.report.dbms_emulated_operations.extend(result.report.emulated_operations)
         self.report.transferred_tuples += len(result.relation)
         return result.relation
 
-    def _materialize_stratum_islands(self, fragment: Operation) -> Operation:
+    def _materialize_stratum_islands(self, fragment: Operation, path: PlanPath = ROOT_PATH) -> Operation:
         """Replace ``TD(sub)`` islands inside a DBMS fragment by literal relations."""
         if isinstance(fragment, TransferToDBMS):
-            relation = self._execute_stratum(fragment.child)
+            relation = self._execute_stratum(fragment.child, path + (0,))
+            self.report.node_rows[path] = len(relation)
             self.report.transferred_tuples += len(relation)
             return LiteralRelation(relation)
         if isinstance(fragment, TransferToStratum):
@@ -124,7 +141,10 @@ class StratumExecutor:
             )
         if not fragment.children:
             return fragment
-        new_children = [self._materialize_stratum_islands(child) for child in fragment.children]
+        new_children = [
+            self._materialize_stratum_islands(child, path + (index,))
+            for index, child in enumerate(fragment.children)
+        ]
         if all(new is old for new, old in zip(new_children, fragment.children)):
             return fragment
         return fragment.with_children(new_children)

@@ -194,6 +194,8 @@ class TemporalDatabase:
         #: estimator built from the catalog (see :mod:`repro.stats`) instead
         #: of the cost model's fixed selectivity/overlap constants.
         self.use_statistics = use_statistics
+        #: Lazily created default session backing :meth:`execute_tsql`.
+        self._default_session = None
 
     # -- data definition ---------------------------------------------------------
 
@@ -216,6 +218,15 @@ class TemporalDatabase:
     def statistics(self) -> Mapping[str, int]:
         """Base-table cardinalities, as used by the cost model."""
         return self.dbms.statistics()
+
+    def statistics_epoch(self) -> int:
+        """Monotone counter advanced by every statistics-relevant change.
+
+        Any DDL or data change (create/drop/insert/replace) advances it; the
+        plan cache of :mod:`repro.session` keys entries on the epoch, so a
+        bump invalidates every plan optimized against the older statistics.
+        """
+        return self.dbms.statistics_epoch()
 
     def estimator(self, **kwargs):
         """A histogram-backed estimator over the current base tables."""
@@ -240,6 +251,31 @@ class TemporalDatabase:
         """Parse, optimize, execute; return the result relation."""
         return self.execute(statement).relation
 
+    def session(self, cache_size: int = 128):
+        """A new :class:`~repro.session.session.Session` over this database.
+
+        The session adds the plan cache, ``?`` parameter binding and the
+        EXPLAIN surface on top of :meth:`execute`; several sessions may
+        share one database (each has its own cache, all invalidate through
+        the shared statistics epoch).
+        """
+        from ..session import Session
+
+        return Session(self, cache_size=cache_size)
+
+    def execute_tsql(self, statement: str, params: Sequence[object] = ()):
+        """Run a statement through the cached session lifecycle.
+
+        Unlike :meth:`execute` this goes through a lazily created default
+        :class:`~repro.session.session.Session`: repeated statements reuse
+        the cached optimized plan, ``?`` markers are bound from ``params``,
+        and ``EXPLAIN`` statements return a report instead of rows.  Returns
+        a :class:`~repro.session.session.SessionResult`.
+        """
+        if getattr(self, "_default_session", None) is None:
+            self._default_session = self.session()
+        return self._default_session.execute(statement, params)
+
     def execute(self, statement: str) -> QueryOutcome:
         """Parse, optimize and execute a temporal SQL statement."""
         initial_plan, query_spec = self.parse(statement)
@@ -247,29 +283,37 @@ class TemporalDatabase:
         outcome.statement = statement
         return outcome
 
+    def optimize_plan(
+        self, initial_plan: Operation, query_spec: QueryResultSpec
+    ) -> OptimizationOutcome:
+        """Optimize a plan against the current statistics (or cost it as-is).
+
+        The single place the optimize-or-estimate policy lives: honoured by
+        :meth:`execute_plan` and by the session layer's plan cache, so both
+        entry points report identical optimization metadata.  With
+        ``optimize_queries=False`` the initial plan is costed and returned
+        as the trivial single-plan outcome.
+        """
+        estimator = self.estimator() if self.use_statistics else None
+        if self.optimize_queries:
+            return self.optimizer.optimize(
+                initial_plan, query_spec, self.statistics(), estimator=estimator
+            )
+        cost = estimate_cost(
+            initial_plan, self.statistics(), self.optimizer.cost_model,
+            estimator=estimator,
+        )
+        return OptimizationOutcome(
+            initial_plan=initial_plan,
+            chosen_plan=initial_plan,
+            chosen_cost=cost,
+            initial_cost=cost,
+            enumeration=EnumerationResult([initial_plan], EnumerationStatistics(plans_generated=1)),
+        )
+
     def execute_plan(self, initial_plan: Operation, query_spec: QueryResultSpec) -> QueryOutcome:
         """Optimize (optionally) and execute an algebra plan."""
-        if self.optimize_queries:
-            optimization = self.optimizer.optimize(
-                initial_plan,
-                query_spec,
-                self.statistics(),
-                estimator=self.estimator() if self.use_statistics else None,
-            )
-        else:
-            cost = estimate_cost(
-                initial_plan,
-                self.statistics(),
-                self.optimizer.cost_model,
-                estimator=self.estimator() if self.use_statistics else None,
-            )
-            optimization = OptimizationOutcome(
-                initial_plan=initial_plan,
-                chosen_plan=initial_plan,
-                chosen_cost=cost,
-                initial_cost=cost,
-                enumeration=EnumerationResult([initial_plan], EnumerationStatistics(plans_generated=1)),
-            )
+        optimization = self.optimize_plan(initial_plan, query_spec)
         executor = StratumExecutor(self.dbms)
         relation = executor.execute(optimization.chosen_plan)
         return QueryOutcome(

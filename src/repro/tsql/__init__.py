@@ -4,6 +4,7 @@ from .ast import AggregateItem, SelectBlock, SelectItem, SetCombinator, Statemen
 from .lexer import Token, TokenType, tokenize
 from .parser import parse_predicate, parse_statement
 from .translator import translate, translate_statement
+from .unparse import unparse_expression, unparse_statement
 
 __all__ = [
     "AggregateItem",
@@ -18,4 +19,6 @@ __all__ = [
     "tokenize",
     "translate",
     "translate_statement",
+    "unparse_expression",
+    "unparse_statement",
 ]

@@ -8,6 +8,7 @@ set operators, and the three outermost modifiers that drive Definition 5.1:
 
 Statement shape::
 
+    [EXPLAIN [ANALYZE]]
     SELECT [DISTINCT] <items | *>
     FROM <table> [, <table> ...]
     [WHERE <predicate>]
@@ -18,7 +19,9 @@ Statement shape::
 
 ``DISTINCT`` on the first block is interpreted as the statement's outermost
 DISTINCT (duplicate-free result — duplicate-free *snapshots* for temporal
-statements); ``COALESCE`` requests a coalesced temporal result.
+statements); ``COALESCE`` requests a coalesced temporal result.  A ``?`` in
+any expression position is a positional parameter marker (bound at execution
+time); ``EXPLAIN`` asks for the chosen plan instead of the result rows.
 """
 
 from __future__ import annotations
@@ -92,6 +95,12 @@ class Statement:
     combined: List[PyTuple[SetCombinator, SelectBlock]] = field(default_factory=list)
     order_by: OrderSpec = field(default_factory=OrderSpec.unordered)
     coalesce: bool = False
+    #: ``EXPLAIN`` prefix: report the chosen plan instead of the result rows.
+    explain: bool = False
+    #: ``EXPLAIN ANALYZE``: additionally execute and report actual cardinalities.
+    analyze: bool = False
+    #: Number of positional ``?`` parameter markers appearing in the statement.
+    parameter_count: int = 0
 
     @property
     def distinct(self) -> bool:

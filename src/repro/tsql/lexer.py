@@ -35,6 +35,8 @@ KEYWORDS = {
     "BETWEEN",
     "TRUE",
     "FALSE",
+    "EXPLAIN",
+    "ANALYZE",
 }
 
 
@@ -64,7 +66,7 @@ class Token:
         return f"{self.value!r}"
 
 
-_SYMBOLS = ("<>", "<=", ">=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", ".")
+_SYMBOLS = ("<>", "<=", ">=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", ".", "?")
 
 
 def tokenize(text: str) -> List[Token]:
@@ -78,11 +80,26 @@ def tokenize(text: str) -> List[Token]:
             index += 1
             continue
         if char == "'":
-            end = text.find("'", index + 1)
-            if end == -1:
-                raise ParseError(f"unterminated string literal at position {index}")
-            tokens.append(Token(TokenType.STRING, text[index + 1 : end], index))
-            index = end + 1
+            # A doubled quote inside the literal is an escaped quote, as in
+            # SQL: 'O''Hara' is the five-character string O'Hara.
+            start = index
+            index += 1
+            parts = []
+            while True:
+                end = text.find("'", index)
+                if end == -1:
+                    raise ParseError(
+                        f"unterminated string literal at position {start}",
+                        position=start,
+                    )
+                if text.startswith("''", end):
+                    parts.append(text[index:end] + "'")
+                    index = end + 2
+                    continue
+                parts.append(text[index:end])
+                index = end + 1
+                break
+            tokens.append(Token(TokenType.STRING, "".join(parts), start))
             continue
         if char.isdigit():
             start = index
@@ -106,6 +123,8 @@ def tokenize(text: str) -> List[Token]:
                 index += len(symbol)
                 break
         else:
-            raise ParseError(f"unexpected character {char!r} at position {index}")
+            raise ParseError(
+                f"unexpected character {char!r} at position {index}", position=index
+            )
     tokens.append(Token(TokenType.END, "", length))
     return tokens

@@ -18,6 +18,7 @@ from ..core.expressions import (
     Literal,
     Not,
     Or,
+    Parameter,
 )
 from ..core.order_spec import OrderSpec, SortDirection, SortKey
 from .ast import AggregateItem, SelectBlock, SelectItem, SetCombinator, Statement
@@ -58,6 +59,7 @@ class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._parameters = 0
 
     # -- token plumbing -----------------------------------------------------------
 
@@ -84,26 +86,39 @@ class _Parser:
 
     def expect_keyword(self, keyword: str) -> None:
         if not self.accept_keyword(keyword):
-            raise ParseError(f"expected {keyword}, found {self.current} at position {self.current.position}")
+            raise ParseError(
+                f"expected {keyword}, found {self.current} at position {self.current.position}",
+                position=self.current.position,
+            )
 
     def expect_symbol(self, symbol: str) -> None:
         if not self.accept_symbol(symbol):
-            raise ParseError(f"expected {symbol!r}, found {self.current} at position {self.current.position}")
+            raise ParseError(
+                f"expected {symbol!r}, found {self.current} at position {self.current.position}",
+                position=self.current.position,
+            )
 
     def expect_identifier(self) -> str:
         if self.current.type is not TokenType.IDENTIFIER:
             raise ParseError(
-                f"expected an identifier, found {self.current} at position {self.current.position}"
+                f"expected an identifier, found {self.current} at position {self.current.position}",
+                position=self.current.position,
             )
         return self.advance().value
 
     def expect_end(self) -> None:
         if self.current.type is not TokenType.END:
-            raise ParseError(f"unexpected trailing input at {self.current}")
+            raise ParseError(
+                f"unexpected trailing input at {self.current} "
+                f"(position {self.current.position})",
+                position=self.current.position,
+            )
 
     # -- grammar -------------------------------------------------------------------
 
     def parse_statement(self) -> Statement:
+        explain = self.accept_keyword("EXPLAIN")
+        analyze = explain and self.accept_keyword("ANALYZE")
         first = self.parse_select_block()
         combined: List[PyTuple[SetCombinator, SelectBlock]] = []
         while True:
@@ -119,7 +134,15 @@ class _Parser:
         elif coalesce and not order_by:
             order_by = self._parse_order_by()
         self.expect_end()
-        return Statement(first=first, combined=combined, order_by=order_by, coalesce=coalesce)
+        return Statement(
+            first=first,
+            combined=combined,
+            order_by=order_by,
+            coalesce=coalesce,
+            explain=explain,
+            analyze=analyze,
+            parameter_count=self._parameters,
+        )
 
     def _parse_combinator(self) -> Optional[SetCombinator]:
         if self.accept_keyword("UNION"):
@@ -230,13 +253,23 @@ class _Parser:
             # Could be a parenthesised predicate or a parenthesised arithmetic
             # expression; try the predicate first and backtrack on failure.
             saved = self._index
+            saved_parameters = self._parameters
             try:
                 self.advance()
                 inner = self.parse_disjunction()
                 self.expect_symbol(")")
-                return inner
+                follower = self.current
+                if not (
+                    follower.type is TokenType.SYMBOL
+                    and follower.value in ("+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=")
+                ) and not follower.is_keyword("BETWEEN"):
+                    return inner
+                # ``(a + 1) * 2 >= 10``: the parenthesis closed an arithmetic
+                # primary, not a predicate — fall through to the backtrack.
             except ParseError:
-                self._index = saved
+                pass
+            self._index = saved
+            self._parameters = saved_parameters
         return self.parse_comparison()
 
     def parse_comparison(self) -> Expression:
@@ -290,9 +323,17 @@ class _Parser:
         if token.type is TokenType.IDENTIFIER:
             self.advance()
             return AttributeRef(token.value)
+        if token.type is TokenType.SYMBOL and token.value == "?":
+            self.advance()
+            parameter = Parameter(self._parameters)
+            self._parameters += 1
+            return parameter
         if token.type is TokenType.SYMBOL and token.value == "(":
             self.advance()
             inner = self.parse_additive()
             self.expect_symbol(")")
             return inner
-        raise ParseError(f"unexpected token {token} at position {token.position}")
+        raise ParseError(
+            f"unexpected token {token} at position {token.position}",
+            position=token.position,
+        )

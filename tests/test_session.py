@@ -1,0 +1,281 @@
+"""Tests for the session layer: plan cache, parameters, epoch, EXPLAIN."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ParameterError
+from repro.core.expressions import Literal, Parameter
+from repro.core.operations import Selection
+from repro.session import (
+    PlanCache,
+    Session,
+    bind_parameters,
+    collect_parameters,
+    statement_fingerprint,
+)
+from repro.stratum import TemporalDatabase
+from repro.tsql import parse_statement
+from repro.workloads import employee_relation, project_relation
+
+from .conftest import PAPER_STATEMENT
+
+
+@pytest.fixture
+def session():
+    db = TemporalDatabase()
+    db.register("EMPLOYEE", employee_relation())
+    db.register("PROJECT", project_relation())
+    return Session(db)
+
+
+class TestLifecycle:
+    def test_execute_matches_database_execute(self, session):
+        via_session = session.execute(PAPER_STATEMENT).relation
+        via_database = session.database.query(PAPER_STATEMENT)
+        assert via_session.as_list() == via_database.as_list()
+
+    def test_execute_reports_timings_and_report(self, session):
+        result = session.execute(PAPER_STATEMENT)
+        assert result.timings.total_seconds > 0
+        assert result.report is not None
+        assert result.report.dbms_calls >= 1
+        assert result.report.node_rows  # actual cardinalities were captured
+
+    def test_execute_tsql_facade_caches(self, session):
+        db = session.database
+        first = db.execute_tsql(PAPER_STATEMENT)
+        second = db.execute_tsql(PAPER_STATEMENT)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert first.relation.as_list() == second.relation.as_list()
+
+
+class TestPlanCache:
+    def test_repeated_statement_hits(self, session):
+        first = session.execute(PAPER_STATEMENT)
+        second = session.execute(PAPER_STATEMENT)
+        assert not first.cache_hit
+        assert second.cache_hit
+        info = session.cache_info()
+        assert info.hits == 1 and info.misses == 1 and info.size == 1
+
+    def test_surface_variants_share_one_entry(self, session):
+        session.execute(PAPER_STATEMENT)
+        variant = session.execute(
+            "select  DISTINCT   EmpName from EMPLOYEE except temporal "
+            "select EmpName from PROJECT order by EmpName coalesce"
+        )
+        assert variant.cache_hit
+
+    def test_parameter_variants_share_one_entry(self, session):
+        a = session.execute(
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = ?", params=("Sales",)
+        )
+        b = session.execute(
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = ?", params=("Advertising",)
+        )
+        assert not a.cache_hit
+        assert b.cache_hit
+        assert {t["EmpName"] for t in a.relation.tuples} == {"John", "Anna"}
+        assert {t["EmpName"] for t in b.relation.tuples} == {"John", "Anna"}
+        assert a.relation.as_multiset() != b.relation.as_multiset()
+
+    def test_inline_literals_do_not_share(self, session):
+        a = session.execute("SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales'")
+        b = session.execute("SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Advertising'")
+        assert not a.cache_hit and not b.cache_hit
+
+    def test_statistics_epoch_bump_invalidates(self, session):
+        statement = "SELECT EmpName FROM EMPLOYEE WHERE Dept = ?"
+        session.execute(statement, params=("Sales",))
+        assert session.execute(statement, params=("Sales",)).cache_hit
+        epoch_before = session.database.statistics_epoch()
+        session.database.insert("EMPLOYEE", [("Zoe", "Sales", 3, 9)])
+        assert session.database.statistics_epoch() > epoch_before
+        after = session.execute(statement, params=("Sales",))
+        assert not after.cache_hit  # the cached plan was not reused
+        assert any(t["EmpName"] == "Zoe" for t in after.relation.tuples)
+        # The superseded entry was purged, not just shadowed.
+        assert session.cache_info().invalidations >= 1
+
+    def test_epoch_advances_on_create_and_drop(self):
+        db = TemporalDatabase()
+        e0 = db.statistics_epoch()
+        db.register("EMPLOYEE", employee_relation())
+        e1 = db.statistics_epoch()
+        assert e1 > e0
+        db.dbms.drop_table("EMPLOYEE")
+        assert db.statistics_epoch() > e1
+
+    def test_lru_eviction(self, session):
+        session.cache = PlanCache(capacity=2)
+        session.execute("SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales'")
+        session.execute("SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Advertising'")
+        session.execute("SELECT EmpName FROM EMPLOYEE")  # evicts the oldest
+        info = session.cache_info()
+        assert info.size == 2 and info.evictions == 1
+        assert not session.execute(
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales'"
+        ).cache_hit
+
+    def test_cache_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestFingerprint:
+    def test_explain_prefix_is_normalized_away(self):
+        plain = statement_fingerprint(parse_statement(PAPER_STATEMENT))
+        explained = statement_fingerprint(parse_statement("EXPLAIN " + PAPER_STATEMENT))
+        analyzed = statement_fingerprint(
+            parse_statement("EXPLAIN ANALYZE " + PAPER_STATEMENT)
+        )
+        assert plain == explained == analyzed
+
+    def test_distinct_statements_do_not_collide(self):
+        texts = [
+            "SELECT EmpName FROM EMPLOYEE",
+            "SELECT DISTINCT EmpName FROM EMPLOYEE",
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales'",
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = ?",
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales' ORDER BY EmpName",
+            "SELECT EmpName FROM PROJECT",
+        ]
+        fingerprints = {statement_fingerprint(parse_statement(t)) for t in texts}
+        assert len(fingerprints) == len(texts)
+
+    def test_literal_type_matters(self):
+        a = statement_fingerprint(parse_statement("SELECT * FROM T WHERE x = 1"))
+        b = statement_fingerprint(parse_statement("SELECT * FROM T WHERE x = 1.0"))
+        c = statement_fingerprint(parse_statement("SELECT * FROM T WHERE x = '1'"))
+        assert len({a, b, c}) == 3
+
+
+class TestParameters:
+    def test_bind_substitutes_literals(self, session):
+        plan, _ = session.database.parse("SELECT EmpName FROM EMPLOYEE WHERE Dept = ?")
+        assert collect_parameters(plan) == (0,)
+        bound = bind_parameters(plan, ("Sales",))
+        assert collect_parameters(bound) == ()
+        selections = [n for n in bound.nodes() if isinstance(n, Selection)]
+        assert selections and Literal("Sales") in (
+            selections[0].predicate.left,
+            selections[0].predicate.right,
+        )
+
+    def test_bind_shares_parameter_free_subtrees(self, session):
+        plan, _ = session.database.parse(PAPER_STATEMENT)
+        assert bind_parameters(plan, ()) is plan
+
+    def test_wrong_parameter_count_raises(self, session):
+        with pytest.raises(ParameterError):
+            session.execute("SELECT EmpName FROM EMPLOYEE WHERE Dept = ?")
+        with pytest.raises(ParameterError):
+            session.execute(
+                "SELECT EmpName FROM EMPLOYEE WHERE Dept = ?", params=("a", "b")
+            )
+        with pytest.raises(ParameterError):
+            session.execute("SELECT EmpName FROM EMPLOYEE", params=("stray",))
+
+    def test_unbound_parameter_cannot_evaluate(self):
+        with pytest.raises(Exception) as excinfo:
+            Parameter(0).evaluate(None)
+        assert "unbound" in str(excinfo.value)
+
+    def test_marker_order_is_text_order(self, session):
+        result = session.execute(
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = ? AND T1 >= ?",
+            params=("Sales", 2),
+        )
+        names = {t["EmpName"] for t in result.relation.tuples}
+        assert names == {"Anna"}
+
+
+class TestExplain:
+    def test_explain_shows_estimates_and_actuals_everywhere(self, session):
+        report = session.explain(PAPER_STATEMENT)
+        assert report.lines
+        for line in report.lines:
+            assert line.estimated_rows >= 0
+            assert line.actual_rows is not None
+            assert line.engine in ("stratum", "dbms")
+        rendered = report.render()
+        assert "est rows=" in rendered and "actual=" in rendered
+        assert "memo groups=" in rendered
+        assert "rules fired during exploration" in rendered
+
+    def test_explain_without_analyze_has_no_actuals(self, session):
+        report = session.explain(PAPER_STATEMENT, analyze=False)
+        assert all(line.actual_rows is None for line in report.lines)
+        assert report.dbms_calls is None
+
+    def test_explain_statement_prefix(self, session):
+        result = session.execute("EXPLAIN " + PAPER_STATEMENT)
+        assert result.relation is None
+        assert result.explain is not None
+        assert not result.explain.analyze
+        analyzed = session.execute("EXPLAIN ANALYZE " + PAPER_STATEMENT)
+        assert analyzed.explain.analyze
+        assert analyzed.explain.result_rows is not None
+
+    def test_explain_populates_and_reuses_the_cache(self, session):
+        report = session.explain(PAPER_STATEMENT)
+        assert not report.cache_hit
+        result = session.execute(PAPER_STATEMENT)
+        assert result.cache_hit
+        assert session.explain(PAPER_STATEMENT).cache_hit
+
+    def test_explain_cost_totals_are_consistent(self, session):
+        report = session.explain(PAPER_STATEMENT, analyze=False)
+        total = sum(line.cost for line in report.lines)
+        assert total == pytest.approx(report.estimated_cost)
+
+    def test_explain_query_returns_rendered_text(self, session):
+        text = session.query("EXPLAIN " + PAPER_STATEMENT)
+        assert isinstance(text, str)
+        assert "plan cache:" in text
+
+
+class TestExplainWorkloads:
+    """Acceptance: estimates vs. actuals for every operator on the paper's
+    chained statement and on the skewed statistics workload."""
+
+    CHAINED = (
+        "SELECT DISTINCT EmpName FROM EMPLOYEE "
+        "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+        "UNION TEMPORAL SELECT EmpName FROM PROJECT "
+        "ORDER BY EmpName COALESCE"
+    )
+
+    def test_chained_workload_explain_is_fully_annotated(self, session):
+        report = session.explain(self.CHAINED)
+        assert len(report.lines) >= 8
+        assert all(line.actual_rows is not None for line in report.lines)
+        assert all(line.estimated_rows >= 0 for line in report.lines)
+
+    def test_skewed_workload_explain_is_fully_annotated(self):
+        from repro.workloads import skewed_paper_workload
+
+        employees, projects = skewed_paper_workload(8)
+        db = TemporalDatabase(use_statistics=True)
+        db.register("EMPLOYEE", employees)
+        db.register("PROJECT", projects)
+        report = Session(db).explain(self.CHAINED)
+        assert all(line.actual_rows is not None for line in report.lines)
+        assert all(line.estimated_rows >= 0 for line in report.lines)
+        assert report.memo_groups and report.rule_usage
+
+
+class TestUseStatistics:
+    def test_session_over_statistics_database(self):
+        db = TemporalDatabase(use_statistics=True)
+        db.register("EMPLOYEE", employee_relation())
+        db.register("PROJECT", project_relation())
+        session = Session(db)
+        first = session.execute(PAPER_STATEMENT)
+        second = session.execute(PAPER_STATEMENT)
+        assert second.cache_hit
+        assert first.relation.as_list() == second.relation.as_list()
+        report = session.explain(PAPER_STATEMENT)
+        assert all(line.actual_rows is not None for line in report.lines)
