@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
+from .joinsplit import stratum_physical_description
 from .operations import (
     Aggregation,
     BaseRelation,
@@ -320,8 +321,11 @@ class OperatorCostAnnotation:
 
     Produced by :func:`cost_annotations` and consumed by the EXPLAIN
     rendering of :mod:`repro.session`: estimated input/output cardinalities,
-    the engine assignment the transfer operations imply, and the operator's
-    own work contribution (engine factor applied).
+    the engine assignment the transfer operations imply, the operator's
+    own work contribution (engine factor applied), and — for stratum-side
+    joins — the physical algorithm the executor will choose
+    (:mod:`repro.core.joinsplit`), so EXPLAIN shows e.g.
+    ``⋈ [hash: id=id, residual: v>3]``.
     """
 
     label: str
@@ -329,6 +333,7 @@ class OperatorCostAnnotation:
     input_cardinalities: PyTuple[float, ...]
     output_cardinality: float
     work: float
+    physical: Optional[str] = None
 
 
 def cost_annotations(
@@ -348,14 +353,23 @@ def cost_annotations(
     statistics = statistics or {}
     annotations: Dict[PyTuple[int, ...], OperatorCostAnnotation] = {}
 
-    def visit(node: Operation, engine: str, path: PyTuple[int, ...]) -> float:
+    def visit(
+        node: Operation, engine: str, path: PyTuple[int, ...], fused: bool = False
+    ) -> float:
         child_engine = engine
         if isinstance(node, TransferToStratum):
             child_engine = Engine.DBMS
         elif isinstance(node, TransferToDBMS):
             child_engine = Engine.STRATUM
+        physical: Optional[str] = None
+        fuses_child = False
+        if engine == Engine.STRATUM:
+            if fused:
+                physical = "fused into σ"
+            else:
+                physical, fuses_child = stratum_physical_description(node)
         child_cards = [
-            visit(child, child_engine, path + (index,))
+            visit(child, child_engine, path + (index,), fused=fuses_child and index == 0)
             for index, child in enumerate(node.children)
         ]
         output = _node_output(node, child_cards, statistics, model, estimator)
@@ -368,6 +382,7 @@ def cost_annotations(
             input_cardinalities=tuple(child_cards),
             output_cardinality=output,
             work=work,
+            physical=physical,
         )
         return output
 

@@ -13,6 +13,7 @@ is shipped to the conventional DBMS.
 
 from __future__ import annotations
 
+import operator as _operator
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple as PyTuple
@@ -26,6 +27,10 @@ from .tuples import Tuple
 # ---------------------------------------------------------------------------
 
 
+#: A compiled expression: a closure evaluating one tuple.
+CompiledExpression = Callable[[Tuple], Any]
+
+
 class Expression:
     """Base class of all scalar expressions."""
 
@@ -37,12 +42,66 @@ class Expression:
         """Evaluate the expression against a single tuple."""
         raise NotImplementedError
 
+    def compile(self, schema: Optional["RelationSchemaLike"] = None) -> CompiledExpression:
+        """Compile the expression tree into a per-tuple Python closure.
+
+        The closure computes exactly what :meth:`evaluate` computes (same
+        values, same exceptions) without re-walking the syntax tree per
+        tuple.  When ``schema`` is given, attribute references are resolved
+        to positions once at compile time; the closure may then only be
+        applied to tuples of that schema.  Physical operators compile their
+        predicates and projection items against their input schema and pay
+        the tree walk once per query instead of once per tuple.
+        """
+        return self.evaluate
+
     def to_sql(self) -> str:
         """Render the expression as SQL text for the DBMS substrate."""
         raise NotImplementedError
 
     # Expressions are value objects: structural equality and hashing are
     # provided by the dataclass decorators on the concrete classes.
+
+
+#: Anything with ``has_attribute``/``index_of`` (``RelationSchema`` — typed
+#: loosely to keep this module free of an import cycle with ``schema``).
+RelationSchemaLike = Any
+
+
+def positional_guard(
+    schema: RelationSchemaLike, compiled: CompiledExpression, fallback: CompiledExpression
+) -> CompiledExpression:
+    """Wrap a positionally compiled closure with a per-tuple order check.
+
+    Positionally compiled closures require the tuple's attribute order to
+    match the compile-time schema.  Relations only guarantee attribute-*set*
+    equality, so the returned closure checks the order (an identity check in
+    the common case of a shared schema object) and uses ``fallback`` —
+    name-based access — for permuted tuples.  The single authoritative
+    implementation of the guard every physical operator relies on for
+    list-compatibility.
+    """
+    attributes = schema.attributes
+
+    def evaluate(tup: Tuple) -> Any:
+        tup_schema = tup.schema
+        if tup_schema is schema or tup_schema.attributes == attributes:
+            return compiled(tup)
+        return fallback(tup)
+
+    return evaluate
+
+
+def guarded_compile(
+    expression: "Expression | ProjectionItem", schema: RelationSchemaLike
+) -> CompiledExpression:
+    """Compile against ``schema`` with the :func:`positional_guard` fallback.
+
+    This is what the physical operators of both engines use for predicates
+    and projection items.
+    """
+    target = expression.expression if isinstance(expression, ProjectionItem) else expression
+    return positional_guard(schema, target.compile(schema), target.evaluate)
 
 
 @dataclass(frozen=True)
@@ -60,6 +119,12 @@ class AttributeRef(Expression):
                 f"attribute {self.name!r} not found in schema {tup.schema}"
             )
         return tup[self.name]
+
+    def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
+        if schema is not None and schema.has_attribute(self.name):
+            index = schema.index_of(self.name)
+            return lambda tup: tup.values()[index]
+        return self.evaluate
 
     def to_sql(self) -> str:
         return _quote_identifier(self.name)
@@ -79,6 +144,10 @@ class Literal(Expression):
 
     def evaluate(self, tup: Tuple) -> Any:
         return self.value
+
+    def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
+        value = self.value
+        return lambda tup: value
 
     def to_sql(self) -> str:
         if isinstance(self.value, str):
@@ -131,17 +200,19 @@ class ComparisonOperator(Enum):
     GE = ">="
 
     def apply(self, left: Any, right: Any) -> bool:
-        if self is ComparisonOperator.EQ:
-            return left == right
-        if self is ComparisonOperator.NE:
-            return left != right
-        if self is ComparisonOperator.LT:
-            return left < right
-        if self is ComparisonOperator.LE:
-            return left <= right
-        if self is ComparisonOperator.GT:
-            return left > right
-        return left >= right
+        return _COMPARISON_FUNCTIONS[self](left, right)
+
+
+#: Comparison implementations, resolved once so compiled closures skip the
+#: enum dispatch per tuple.
+_COMPARISON_FUNCTIONS: Dict["ComparisonOperator", Callable[[Any, Any], bool]] = {
+    ComparisonOperator.EQ: _operator.eq,
+    ComparisonOperator.NE: _operator.ne,
+    ComparisonOperator.LT: _operator.lt,
+    ComparisonOperator.LE: _operator.le,
+    ComparisonOperator.GT: _operator.gt,
+    ComparisonOperator.GE: _operator.ge,
+}
 
 
 @dataclass(frozen=True)
@@ -160,6 +231,19 @@ class Comparison(Expression):
             return self.operator.apply(self.left.evaluate(tup), self.right.evaluate(tup))
         except TypeError as exc:
             raise EvaluationError(f"cannot evaluate comparison {self}: {exc}") from exc
+
+    def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        compare = _COMPARISON_FUNCTIONS[self.operator]
+
+        def evaluate(tup: Tuple) -> bool:
+            try:
+                return compare(left(tup), right(tup))
+            except TypeError as exc:
+                raise EvaluationError(f"cannot evaluate comparison {self}: {exc}") from exc
+
+        return evaluate
 
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} {self.operator.value} {self.right.to_sql()})"
@@ -186,6 +270,17 @@ class And(Expression):
     def evaluate(self, tup: Tuple) -> bool:
         return all(operand.evaluate(tup) for operand in self.operands)
 
+    def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
+        compiled = tuple(operand.compile(schema) for operand in self.operands)
+
+        def evaluate(tup: Tuple) -> bool:
+            for operand in compiled:
+                if not operand(tup):
+                    return False
+            return True
+
+        return evaluate
+
     def to_sql(self) -> str:
         return "(" + " AND ".join(op.to_sql() for op in self.operands) + ")"
 
@@ -211,6 +306,17 @@ class Or(Expression):
     def evaluate(self, tup: Tuple) -> bool:
         return any(operand.evaluate(tup) for operand in self.operands)
 
+    def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
+        compiled = tuple(operand.compile(schema) for operand in self.operands)
+
+        def evaluate(tup: Tuple) -> bool:
+            for operand in compiled:
+                if operand(tup):
+                    return True
+            return False
+
+        return evaluate
+
     def to_sql(self) -> str:
         return "(" + " OR ".join(op.to_sql() for op in self.operands) + ")"
 
@@ -230,6 +336,10 @@ class Not(Expression):
     def evaluate(self, tup: Tuple) -> bool:
         return not self.operand.evaluate(tup)
 
+    def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
+        operand = self.operand.compile(schema)
+        return lambda tup: not operand(tup)
+
     def to_sql(self) -> str:
         return f"(NOT {self.operand.to_sql()})"
 
@@ -246,15 +356,22 @@ class ArithmeticOperator(Enum):
     DIV = "/"
 
     def apply(self, left: Any, right: Any) -> Any:
-        if self is ArithmeticOperator.ADD:
-            return left + right
-        if self is ArithmeticOperator.SUB:
-            return left - right
-        if self is ArithmeticOperator.MUL:
-            return left * right
-        if right == 0:
-            raise EvaluationError("division by zero in projection expression")
-        return left / right
+        return _ARITHMETIC_FUNCTIONS[self](left, right)
+
+
+def _checked_divide(left: Any, right: Any) -> Any:
+    if right == 0:
+        raise EvaluationError("division by zero in projection expression")
+    return left / right
+
+
+#: Arithmetic implementations, resolved once (as for comparisons).
+_ARITHMETIC_FUNCTIONS: Dict["ArithmeticOperator", Callable[[Any, Any], Any]] = {
+    ArithmeticOperator.ADD: _operator.add,
+    ArithmeticOperator.SUB: _operator.sub,
+    ArithmeticOperator.MUL: _operator.mul,
+    ArithmeticOperator.DIV: _checked_divide,
+}
 
 
 @dataclass(frozen=True)
@@ -270,6 +387,12 @@ class Arithmetic(Expression):
 
     def evaluate(self, tup: Tuple) -> Any:
         return self.operator.apply(self.left.evaluate(tup), self.right.evaluate(tup))
+
+    def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
+        left = self.left.compile(schema)
+        right = self.right.compile(schema)
+        apply = _ARITHMETIC_FUNCTIONS[self.operator]
+        return lambda tup: apply(left(tup), right(tup))
 
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} {self.operator.value} {self.right.to_sql()})"
@@ -365,6 +488,10 @@ class ProjectionItem:
         return isinstance(self.expression, AttributeRef) and (
             self.alias is None or self.alias == self.expression.name
         )
+
+    def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
+        """Compile the item's expression (see :meth:`Expression.compile`)."""
+        return self.expression.compile(schema)
 
     def to_sql(self) -> str:
         sql = self.expression.to_sql()

@@ -15,7 +15,7 @@ sort keys on ``T1``/``T2`` are no longer guaranteed).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple as PyTuple
+from typing import Dict, List, Sequence, Tuple as PyTuple
 
 from ..order_spec import OrderSpec
 from ..period import T1, T2
@@ -68,25 +68,40 @@ def coalesce_tuples(tuples: List[Tuple]) -> List[Tuple]:
     can create a new adjacency), and each merged tuple takes the list
     position of its earliest participant, so the argument order is retained
     as far as possible.
+
+    Tuples of different value-equivalence classes never interact, so the
+    fixpoint partitions: each class is processed on its own (a merge restarts
+    the pair scan only within the affected class, not over the whole list)
+    and the classes reassemble by position.  A historical formulation rescanned
+    the *entire* list after every merge — O(n²) per pass regardless of class
+    sizes; the output here is byte-identical to it, because the global scan's
+    pair order restricted to one class is exactly the in-class pair order,
+    and a merge in one class never changes another class's entries.
     """
-    # Entries: (original position of the earliest participant, tuple).
-    entries: List[List] = [[index, tup] for index, tup in enumerate(tuples)]
-    changed = True
-    while changed:
-        changed = False
-        for i in range(len(entries)):
-            if changed:
-                break
-            for j in range(i + 1, len(entries)):
-                first, second = entries[i][1], entries[j][1]
-                if not first.value_equivalent(second):
-                    continue
-                if not first.period.is_adjacent_to(second.period):
-                    continue
-                merged_period = first.period.merge(second.period)
-                entries[i] = [min(entries[i][0], entries[j][0]), first.with_period(merged_period)]
-                del entries[j]
-                changed = True
-                break
-    entries.sort(key=lambda entry: entry[0])
-    return [entry[1] for entry in entries]
+    groups: Dict[PyTuple, List[List]] = {}
+    for position, tup in enumerate(tuples):
+        # Entries: (original position of the earliest participant, tuple).
+        groups.setdefault(tup.value_part(), []).append([position, tup])
+    merged: List[List] = []
+    for entries in groups.values():
+        changed = True
+        while changed:
+            changed = False
+            for i in range(len(entries)):
+                if changed:
+                    break
+                for j in range(i + 1, len(entries)):
+                    first, second = entries[i][1], entries[j][1]
+                    if not first.period.is_adjacent_to(second.period):
+                        continue
+                    merged_period = first.period.merge(second.period)
+                    entries[i] = [
+                        min(entries[i][0], entries[j][0]),
+                        first.with_period(merged_period),
+                    ]
+                    del entries[j]
+                    changed = True
+                    break
+        merged.extend(entries)
+    merged.sort(key=lambda entry: entry[0])
+    return [entry[1] for entry in merged]

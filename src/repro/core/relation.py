@@ -57,9 +57,12 @@ class Relation:
         order: Optional[OrderSpec] = None,
     ) -> None:
         self._schema = schema
+        expected = schema.attribute_set()
         tuple_list: List[Tuple] = []
         for tup in tuples:
-            if set(tup.schema.attributes) != set(schema.attributes):
+            # Identity fast path: tuples almost always carry the relation's
+            # own schema object, making the per-tuple set compare redundant.
+            if tup.schema is not schema and tup.schema.attribute_set() != expected:
                 raise SchemaError(
                     f"tuple schema {tup.schema} does not match relation schema {schema}"
                 )

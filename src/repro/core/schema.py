@@ -179,12 +179,43 @@ class RelationSchema:
         """Return True if the schema declares ``attribute``."""
         return attribute in self.domains
 
+    def attribute_set(self) -> frozenset:
+        """The attributes as a set (``Omega``), built once per schema."""
+        cached = getattr(self, "_attribute_set", None)
+        if cached is None:
+            cached = frozenset(self.attributes)
+            object.__setattr__(self, "_attribute_set", cached)
+        return cached
+
     def index_of(self, attribute: str) -> int:
         """Return the position of ``attribute`` in declaration order."""
         try:
-            return self.attributes.index(attribute)
-        except ValueError:
+            return self.index_map()[attribute]
+        except KeyError:
             raise SchemaError(f"unknown attribute {attribute!r} in schema {self}") from None
+
+    def index_map(self) -> Mapping[str, int]:
+        """Mapping from attribute name to position, built once per schema.
+
+        Tuple attribute access resolves positions through this map; caching it
+        on the (immutable) schema keeps the per-tuple work O(1) instead of a
+        linear scan of the attribute tuple.
+        """
+        cached = getattr(self, "_index_map", None)
+        if cached is None:
+            cached = {attribute: i for i, attribute in enumerate(self.attributes)}
+            object.__setattr__(self, "_index_map", cached)
+        return cached
+
+    def value_indexes(self) -> Tuple[int, ...]:
+        """Positions of the non-temporal attributes, built once per schema."""
+        cached = getattr(self, "_value_indexes", None)
+        if cached is None:
+            cached = tuple(
+                i for i, attribute in enumerate(self.attributes) if attribute not in (T1, T2)
+            )
+            object.__setattr__(self, "_value_indexes", cached)
+        return cached
 
     # -- derivation -------------------------------------------------------------
 

@@ -24,7 +24,7 @@ class Tuple:
     operator.
     """
 
-    __slots__ = ("_schema", "_values")
+    __slots__ = ("_schema", "_values", "_value_part", "_hash")
 
     def __init__(self, schema: RelationSchema, values: Mapping[str, Any]) -> None:
         missing = [a for a in schema.attributes if a not in values]
@@ -42,6 +42,8 @@ class Tuple:
                 )
         self._schema = schema
         self._values: PyTuple[Any, ...] = tuple(values[a] for a in schema.attributes)
+        self._value_part: Optional[PyTuple[Any, ...]] = None
+        self._hash: Optional[int] = None
         if schema.is_temporal:
             # Validate the period eagerly; Period raises on end <= start.
             Period(values[T1], values[T2])
@@ -104,13 +106,16 @@ class Tuple:
         """The values of the non-temporal attributes, in schema order.
 
         Two temporal tuples are *value-equivalent* (Section 2.1) when their
-        value parts agree; the periods may differ.
+        value parts agree; the periods may differ.  Tuples are immutable, so
+        the result is computed once and cached: the hash-partitioned stratum
+        algorithms and the physical join operators call this in inner loops.
         """
-        return tuple(
-            self._values[i]
-            for i, attribute in enumerate(self._schema.attributes)
-            if attribute not in (T1, T2)
-        )
+        cached = self._value_part
+        if cached is None:
+            values = self._values
+            cached = tuple(values[i] for i in self._schema.value_indexes())
+            self._value_part = cached
+        return cached
 
     def value_equivalent(self, other: "Tuple") -> bool:
         """Return True if both tuples agree on every non-temporal attribute."""
@@ -174,7 +179,13 @@ class Tuple:
         return all(self[a] == other[a] for a in self._schema.attributes)
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted((a, self[a]) for a in self._schema.attributes)))
+        # Equality is attribute-name based (schema order does not matter), so
+        # the hash sorts by name; immutability makes it safe to cache.
+        cached = self._hash
+        if cached is None:
+            cached = hash(tuple(sorted(zip(self._schema.attributes, self._values))))
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         pairs = ", ".join(f"{a}={self[a]!r}" for a in self._schema.attributes)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple
 
-from ..core.expressions import AggregateFunction, Expression, ProjectionItem
+from ..core.expressions import AggregateFunction, Expression, ProjectionItem, guarded_compile
 from ..core.order_spec import OrderSpec
 from ..core.relation import Relation
 from ..core.schema import RelationSchema
@@ -70,11 +70,13 @@ class FilterOperator(PhysicalOperator):
     def __init__(self, predicate: Expression, child: PhysicalOperator) -> None:
         super().__init__(child.output_schema)
         self._predicate = predicate
+        self._compiled = guarded_compile(predicate, child.output_schema)
         self._child = child
 
     def __iter__(self) -> Iterator[Tuple]:
+        predicate = self._compiled
         for tup in self._child:
-            if self._predicate.evaluate(tup):
+            if predicate(tup):
                 yield tup
 
     def describe(self) -> str:
@@ -95,11 +97,15 @@ class ProjectOperator(PhysicalOperator):
     ) -> None:
         super().__init__(output_schema)
         self._items = tuple(items)
+        self._columns = tuple(
+            (item.output_name, guarded_compile(item, child.output_schema)) for item in items
+        )
         self._child = child
 
     def __iter__(self) -> Iterator[Tuple]:
+        columns = self._columns
         for tup in self._child:
-            values = {item.output_name: item.expression.evaluate(tup) for item in self._items}
+            values = {name: expression(tup) for name, expression in columns}
             yield Tuple(self.output_schema, values)
 
     def describe(self) -> str:
@@ -263,6 +269,9 @@ class HashJoin(PhysicalOperator):
         self._left_keys = tuple(left_keys)
         self._right_keys = tuple(right_keys)
         self._residual = residual
+        self._compiled_residual = (
+            None if residual is None else guarded_compile(residual, output_schema)
+        )
         self._left = left
         self._right = right
 
@@ -272,12 +281,13 @@ class HashJoin(PhysicalOperator):
             key = tuple(right_tuple[attribute] for attribute in self._right_keys)
             table.setdefault(key, []).append(right_tuple)
         attributes = self.output_schema.attributes
+        residual = self._compiled_residual
         for left_tuple in self._left:
             key = tuple(left_tuple[attribute] for attribute in self._left_keys)
             for right_tuple in table.get(key, ()):
                 values = list(left_tuple.values()) + list(right_tuple.values())
                 joined = Tuple(self.output_schema, dict(zip(attributes, values)))
-                if self._residual is None or self._residual.evaluate(joined):
+                if residual is None or residual(joined):
                     yield joined
 
     def describe(self) -> str:

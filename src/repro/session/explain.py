@@ -64,6 +64,10 @@ class OperatorLine:
     estimated_rows: float
     cost: float
     actual_rows: Optional[int] = None
+    physical: Optional[str] = None
+    """The physical algorithm the stratum executes this operator with
+    (``hash: …``, ``interval: …``, ``nested-loop``, ``fused into σ``);
+    ``None`` where the reference/fast-path implementation runs as-is."""
 
     @property
     def depth(self) -> int:
@@ -161,7 +165,10 @@ class ExplainReport:
 
         def walk(node: Operation, path: PlanPath, prefix: str, connector: str, child_prefix: str) -> None:
             line = by_path[path]
-            rows.append((prefix + connector + line.label, line))
+            text = prefix + connector + line.label
+            if line.physical is not None:
+                text += f" [{line.physical}]"
+            rows.append((text, line))
             for index, child in enumerate(node.children):
                 last = index == len(node.children) - 1
                 walk(
@@ -207,6 +214,7 @@ def build_operator_lines(
                 estimated_rows=annotation.output_cardinality,
                 cost=annotation.work,
                 actual_rows=None if actuals is None else actuals.get(path),
+                physical=annotation.physical,
             )
         )
     return lines

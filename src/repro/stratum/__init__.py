@@ -8,6 +8,13 @@ from .layer import (
     TemporalQueryOptimizer,
 )
 from .partition import DBMS, PlanPartition, STRATUM, describe_partition, partition_plan
+from .physical import (
+    HashJoinOp,
+    IntervalJoinOp,
+    NestedLoopJoinOp,
+    StratumOperator,
+    lower_plan,
+)
 from .temporal_exec import (
     coalesce_fast,
     temporal_difference_fast,
@@ -17,16 +24,21 @@ from .temporal_exec import (
 
 __all__ = [
     "DBMS",
+    "HashJoinOp",
+    "IntervalJoinOp",
+    "NestedLoopJoinOp",
     "OptimizationOutcome",
     "PlanPartition",
     "QueryOutcome",
     "STRATUM",
     "StratumExecutionReport",
     "StratumExecutor",
+    "StratumOperator",
     "TemporalDatabase",
     "TemporalQueryOptimizer",
     "coalesce_fast",
     "describe_partition",
+    "lower_plan",
     "partition_plan",
     "temporal_difference_fast",
     "temporal_duplicate_elimination_fast",

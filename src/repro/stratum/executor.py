@@ -36,6 +36,7 @@ from ..core.operations import (
 from ..core.operations.base import EvaluationContext
 from ..core.relation import Relation
 from ..dbms.engine import ConventionalDBMS
+from .physical import is_pipelined, lower_plan
 from .temporal_exec import (
     coalesce_fast,
     temporal_difference_fast,
@@ -95,12 +96,36 @@ class StratumExecutor:
             return relation
         if isinstance(node, LiteralRelation):
             return node.relation
+        if is_pipelined(node):
+            return self._execute_pipelined(node, path)
         child_results = [
             self._execute_stratum(child, path + (index,))
             for index, child in enumerate(node.children)
         ]
         self.report.stratum_operations += 1
         return self._apply(node, child_results)
+
+    def _execute_pipelined(self, node: Operation, path: PlanPath) -> Relation:
+        """Lower a pipelinable region to physical operators and drain it.
+
+        Selections, projections, sorts, products and the join idioms execute
+        through :mod:`repro.stratum.physical` — hash/interval joins instead
+        of materialised Cartesian products, compiled predicates instead of
+        per-tuple expression-tree walks.  Boundary subtrees (transfers, base
+        relations, the temporal operations) are materialised through the
+        ordinary recursion above.  Each physical operator counts the rows it
+        emits, so per-node actuals stay available to EXPLAIN ANALYZE; a
+        product fused into a join never materialises and reports no count.
+        """
+        root = lower_plan(node, path, self._execute_stratum)
+        relation = root.to_relation()
+        for operator in root.operators():
+            if not operator.paths:
+                continue
+            self.report.stratum_operations += len(operator.paths)
+            if operator.rows_out is not None:
+                self.report.node_rows[operator.paths[0]] = operator.rows_out
+        return relation
 
     def _apply(self, node: Operation, child_results: Sequence[Relation]) -> Relation:
         derived_order = node.result_order([relation.order for relation in child_results])

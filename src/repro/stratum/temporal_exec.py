@@ -90,37 +90,14 @@ def temporal_duplicate_elimination_fast(relation: Relation) -> Relation:
 def coalesce_fast(relation: Relation) -> Relation:
     """``coalT`` with hash partitioning by value part.
 
-    Within each value-equivalence class the same earliest-pair-first merge
-    policy as the reference implementation runs to a fixpoint; each merged
-    tuple keeps the global position of its earliest participant, so sorting
-    the union of all classes by position reproduces the reference output
-    exactly.
+    The reference :func:`repro.core.operations.coalesce.coalesce_tuples`
+    nowadays partitions by value part itself (the per-class fixpoint used to
+    live only here), so the stratum simply delegates; the function is kept
+    as the stratum's named entry point.
     """
-    tuples = list(relation.tuples)
-    groups = _group_positions_by_value(tuples)
-    merged_entries: List[PyTuple[int, Tuple]] = []
-    for positions in groups.values():
-        entries: List[List] = [[slot, tuples[slot]] for slot in positions]
-        changed = True
-        while changed:
-            changed = False
-            for i in range(len(entries)):
-                if changed:
-                    break
-                for j in range(i + 1, len(entries)):
-                    first, second = entries[i][1], entries[j][1]
-                    if not first.period.is_adjacent_to(second.period):
-                        continue
-                    entries[i] = [
-                        min(entries[i][0], entries[j][0]),
-                        first.with_period(first.period.merge(second.period)),
-                    ]
-                    del entries[j]
-                    changed = True
-                    break
-        merged_entries.extend((entry[0], entry[1]) for entry in entries)
-    merged_entries.sort(key=lambda entry: entry[0])
-    return Relation(relation.schema, [tup for _, tup in merged_entries])
+    from ..core.operations.coalesce import coalesce_tuples
+
+    return Relation(relation.schema, coalesce_tuples(list(relation.tuples)))
 
 
 # ---------------------------------------------------------------------------

@@ -13,6 +13,24 @@ from typing import List, Tuple as PyTuple
 
 from hypothesis import strategies as st
 
+from repro.core.expressions import (
+    And,
+    AttributeRef,
+    Comparison,
+    ComparisonOperator,
+    Literal,
+)
+from repro.core.operations import (
+    CartesianProduct,
+    Join,
+    LiteralRelation,
+    Operation,
+    Projection,
+    Selection,
+    Sort,
+    TemporalCartesianProduct,
+    TemporalJoin,
+)
 from repro.core.order_spec import OrderSpec, SortKey, SortDirection
 from repro.core.relation import Relation
 from repro.core.schema import INTEGER, RelationSchema, STRING
@@ -122,6 +140,124 @@ def profiled_relation_pairs(draw, max_size: int = 8):
     right = draw(temporal_relations(schema=TEMPORAL_SCHEMA_2, max_size=max_size))
     estimator = CardinalityEstimator.from_relations({"R": left, "S": right})
     return left, right, estimator
+
+
+#: Right-hand schema for join-shaped plans: ``Name`` clashes with the left
+#: schema (so the product renames it to ``2.Name``), ``Code`` does not.
+JOIN_RIGHT_SCHEMA = RelationSchema.temporal(
+    [("Name", STRING), ("Code", STRING)], name="J"
+)
+
+CODES = ("X", "Y", "Z")
+
+
+@st.composite
+def join_right_rows(draw) -> PyTuple[str, str, int, int]:
+    name = draw(st.sampled_from(NAMES))
+    code = draw(st.sampled_from(CODES))
+    start, end = draw(periods())
+    return (name, code, start, end)
+
+
+@st.composite
+def join_right_relations(draw, max_size: int = 8) -> Relation:
+    """A small temporal relation over the (Name, Code, T1, T2) schema."""
+    rows = draw(st.lists(join_right_rows(), min_size=0, max_size=max_size))
+    return Relation.from_rows(JOIN_RIGHT_SCHEMA, rows)
+
+
+def _equi_conjunct() -> Comparison:
+    return Comparison(ComparisonOperator.EQ, AttributeRef("1.Name"), AttributeRef("2.Name"))
+
+
+def _overlap_conjuncts() -> PyTuple[Comparison, Comparison]:
+    return (
+        Comparison(ComparisonOperator.LT, AttributeRef("1.T1"), AttributeRef("2.T2")),
+        Comparison(ComparisonOperator.LT, AttributeRef("2.T1"), AttributeRef("1.T2")),
+    )
+
+
+@st.composite
+def join_predicates(draw, temporal: bool):
+    """A predicate over the product of TEMPORAL_SCHEMA and JOIN_RIGHT_SCHEMA.
+
+    Drawn so that every physical join algorithm comes up: with/without an
+    equi-conjunct (hash vs. not), with/without the explicit overlap pair
+    (interval join on conventional products), and with one-sided or fresh
+    ``T1``/``T2`` residual conjuncts.
+    """
+    conjuncts = []
+    if draw(st.booleans()):
+        conjuncts.append(_equi_conjunct())
+    if not temporal and draw(st.booleans()):
+        conjuncts.extend(_overlap_conjuncts())
+    if draw(st.booleans()):
+        conjuncts.append(
+            Comparison(
+                ComparisonOperator.EQ, AttributeRef("Dept"), Literal(draw(st.sampled_from(DEPARTMENTS)))
+            )
+        )
+    if draw(st.booleans()):
+        conjuncts.append(
+            Comparison(
+                ComparisonOperator.NE, AttributeRef("Code"), Literal(draw(st.sampled_from(CODES)))
+            )
+        )
+    if temporal and draw(st.booleans()):
+        # A conjunct over the fresh (intersection) period attributes: always
+        # residual, never a join key.
+        conjuncts.append(
+            Comparison(ComparisonOperator.GT, AttributeRef("T2"), AttributeRef("T1"))
+        )
+    if not conjuncts:
+        conjuncts.append(Literal(True))
+    return conjuncts[0] if len(conjuncts) == 1 else And(*conjuncts)
+
+
+@st.composite
+def join_shaped_plans(draw, max_size: int = 6) -> Operation:
+    """A small join-shaped plan over literal relations.
+
+    Covers the shapes the stratum's physical layer lowers: the ``Join`` and
+    ``TemporalJoin`` idioms, selections directly over (temporal) Cartesian
+    products, and bare products — optionally wrapped in a projection, a
+    selection, and/or a sort so that streaming operators stack on top.
+    """
+    left = LiteralRelation(draw(temporal_relations(max_size=max_size)))
+    right = LiteralRelation(draw(join_right_relations(max_size=max_size)))
+    shape = draw(
+        st.sampled_from(
+            ["join", "temporal-join", "select-product", "select-temporal-product", "product", "temporal-product"]
+        )
+    )
+    temporal = shape in ("temporal-join", "select-temporal-product", "temporal-product")
+    predicate = draw(join_predicates(temporal=temporal))
+    if shape == "join":
+        plan: Operation = Join(predicate, left, right)
+    elif shape == "temporal-join":
+        plan = TemporalJoin(predicate, left, right)
+    elif shape == "select-product":
+        plan = Selection(predicate, CartesianProduct(left, right))
+    elif shape == "select-temporal-product":
+        plan = Selection(predicate, TemporalCartesianProduct(left, right))
+    elif shape == "product":
+        plan = CartesianProduct(left, right)
+    else:
+        plan = TemporalCartesianProduct(left, right)
+    if draw(st.booleans()):
+        plan = Selection(
+            Comparison(
+                ComparisonOperator.NE, AttributeRef("Dept"), Literal(draw(st.sampled_from(DEPARTMENTS)))
+            ),
+            plan,
+        )
+    if draw(st.booleans()):
+        plan = Projection(["1.Name", "Dept", "Code"], plan)
+        if draw(st.booleans()):
+            plan = Sort(OrderSpec.ascending("1.Name"), plan)
+    elif draw(st.booleans()):
+        plan = Sort(OrderSpec.ascending("Dept"), plan)
+    return plan
 
 
 @st.composite

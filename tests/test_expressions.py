@@ -169,3 +169,72 @@ class TestAggregates:
     def test_sql(self):
         assert agg_sum("Amount").to_sql() == "SUM(Amount) AS sum_Amount"
         assert count().to_sql() == "COUNT(*) AS count"
+
+
+class TestCompilation:
+    """``Expression.compile`` closures agree with tree-walking ``evaluate``."""
+
+    CASES = [
+        equals("Name", "John"),
+        not_equals("Name", "Anna"),
+        less_than("Amount", 10),
+        greater_than("Amount", 3),
+        between("Amount", 2, 9),
+        And(equals("Name", "John"), greater_than("Amount", 1)),
+        Or(equals("Name", "Anna"), equals("Amount", 5)),
+        Not(equals("Name", "Anna")),
+        Arithmetic(ArithmeticOperator.ADD, attribute("Amount"), literal(2)),
+        Arithmetic(ArithmeticOperator.MUL, attribute("Amount"), attribute("Amount")),
+        literal(True),
+        attribute("Amount"),
+    ]
+
+    def test_compiled_matches_evaluate(self):
+        tuples = [row(), row("Anna", 2), row("Mia", 10)]
+        for expression in self.CASES:
+            schemaless = expression.compile()
+            positional = expression.compile(SCHEMA)
+            for tup in tuples:
+                expected = expression.evaluate(tup)
+                assert schemaless(tup) == expected
+                assert positional(tup) == expected
+
+    def test_compiled_comparison_wraps_type_errors(self):
+        predicate = less_than("Name", 3)
+        compiled = predicate.compile(SCHEMA)
+        with pytest.raises(EvaluationError):
+            compiled(row())
+
+    def test_compiled_division_by_zero_raises(self):
+        expression = Arithmetic(ArithmeticOperator.DIV, attribute("Amount"), literal(0))
+        with pytest.raises(EvaluationError):
+            expression.compile(SCHEMA)(row())
+
+    def test_compiled_short_circuits_like_evaluate(self):
+        # The second operand would raise on evaluation; conjunction must
+        # short-circuit exactly as all()/any() do in the reference.
+        exploding = Comparison(ComparisonOperator.LT, attribute("Missing"), literal(1))
+        predicate = And(equals("Name", "Anna"), exploding)
+        assert predicate.compile(SCHEMA)(row()) is False
+        disjunction = Or(equals("Name", "John"), exploding)
+        assert disjunction.compile(SCHEMA)(row()) is True
+
+    def test_compile_against_missing_attribute_falls_back(self):
+        other = RelationSchema.snapshot([("Other", INTEGER)])
+        compiled = attribute("Name").compile(other)
+        assert compiled(row()) == "John"
+
+    def test_guarded_compile_handles_permuted_schemas(self):
+        from repro.core.expressions import guarded_compile
+
+        permuted = RelationSchema.snapshot([("Amount", INTEGER), ("Name", STRING)])
+        predicate = equals("Name", "John")
+        guarded = guarded_compile(predicate, SCHEMA)
+        assert guarded(row()) is True
+        assert guarded(Tuple(permuted, {"Amount": 5, "Name": "John"})) is True
+
+    def test_projection_item_compile(self):
+        item = ProjectionItem(
+            Arithmetic(ArithmeticOperator.ADD, attribute("Amount"), literal(1)), "Bigger"
+        )
+        assert item.compile(SCHEMA)(row()) == 6

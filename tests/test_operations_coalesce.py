@@ -5,10 +5,11 @@ from hypothesis import given
 from repro.core.equivalence import snapshot_multiset_equivalent
 from repro.core.operations import Coalescing, LiteralRelation, TemporalDuplicateElimination
 from repro.core.operations.base import EvaluationContext
+from repro.core.operations.coalesce import coalesce_tuples
 from repro.core.relation import Relation
 from repro.workloads import EMPLOYEE_NAME_SCHEMA
 
-from .strategies import NARROW_TEMPORAL_SCHEMA, narrow_temporal_relations
+from .strategies import NARROW_TEMPORAL_SCHEMA, narrow_temporal_relations, temporal_relations
 
 CONTEXT = EvaluationContext()
 
@@ -106,3 +107,51 @@ class TestCoalescingProperties:
             return
         result = run(Coalescing(LiteralRelation(relation)))
         assert not result.has_duplicates()
+
+
+def _coalesce_global_scan(tuples):
+    """The historical reference formulation: the earliest-pair-first fixpoint
+    re-scanning the *whole* list after every merge.  Kept here verbatim as the
+    regression oracle for the per-equivalence-class rewrite of
+    ``coalesce_tuples``, whose output must stay byte-identical."""
+    entries = [[index, tup] for index, tup in enumerate(tuples)]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(entries)):
+            if changed:
+                break
+            for j in range(i + 1, len(entries)):
+                first, second = entries[i][1], entries[j][1]
+                if not first.value_equivalent(second):
+                    continue
+                if not first.period.is_adjacent_to(second.period):
+                    continue
+                merged_period = first.period.merge(second.period)
+                entries[i] = [min(entries[i][0], entries[j][0]), first.with_period(merged_period)]
+                del entries[j]
+                changed = True
+                break
+    entries.sort(key=lambda entry: entry[0])
+    return [entry[1] for entry in entries]
+
+
+class TestPerClassFixpointMatchesGlobalScan:
+    """The per-class restart optimisation is byte-identical to the old scan."""
+
+    @given(narrow_temporal_relations(max_size=10))
+    def test_narrow_relations(self, relation):
+        tuples = list(relation.tuples)
+        assert coalesce_tuples(tuples) == _coalesce_global_scan(tuples)
+
+    @given(temporal_relations(max_size=10))
+    def test_wide_relations(self, relation):
+        tuples = list(relation.tuples)
+        assert coalesce_tuples(tuples) == _coalesce_global_scan(tuples)
+
+    def test_interleaved_classes_keep_global_positions(self):
+        relation = rel(("b", 1, 2), ("a", 5, 7), ("b", 2, 4), ("a", 3, 5), ("c", 1, 2))
+        assert [
+            (tup["Name"], tup["T1"], tup["T2"])
+            for tup in coalesce_tuples(list(relation.tuples))
+        ] == [("b", 1, 4), ("a", 3, 7), ("c", 1, 2)]

@@ -138,3 +138,25 @@ class TestEqualityAndHashing:
 
     def test_usable_in_sets(self):
         assert len({john(), john(), john(6, 11)}) == 2
+
+
+class TestCaching:
+    """value_part() and hash() are cached on first use (tuples are immutable)."""
+
+    def test_value_part_is_cached_and_stable(self):
+        tup = john()
+        first = tup.value_part()
+        assert first == ("John", "Sales")
+        assert tup.value_part() is first
+
+    def test_hash_is_cached_and_consistent_with_equality(self):
+        tup = john()
+        assert hash(tup) == hash(tup)
+        permuted = RelationSchema.temporal([("Dept", STRING), ("EmpName", STRING)])
+        twin = Tuple(permuted, {"Dept": "Sales", "EmpName": "John", "T1": 1, "T2": 8})
+        assert tup == twin
+        assert hash(tup) == hash(twin)
+
+    def test_snapshot_value_part_covers_all_attributes(self):
+        tup = Tuple(SNAPSHOT, {"EmpName": "John", "Amount": 5})
+        assert tup.value_part() == ("John", 5)
