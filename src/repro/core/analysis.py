@@ -36,6 +36,7 @@ from .operations import (
     TemporalCartesianProduct,
     TemporalDifference,
     TemporalDuplicateElimination,
+    TemporalJoin,
     TemporalUnion,
     TransferToDBMS,
     TransferToStratum,
@@ -89,7 +90,9 @@ def guarantees_no_snapshot_duplicates(op: Operation) -> bool:
     if isinstance(op, TemporalDifference):
         # The result's snapshots are subsets of the left argument's snapshots.
         return guarantees_no_snapshot_duplicates(op.left)
-    if isinstance(op, (TemporalCartesianProduct, TemporalUnion)):
+    if isinstance(op, (TemporalCartesianProduct, TemporalUnion, TemporalJoin)):
+        # The temporal join is σ over ×T; a selection passes the guarantee
+        # through, the product requires it of both arguments.
         return all(guarantees_no_snapshot_duplicates(child) for child in op.children)
     if isinstance(op, (DuplicateElimination, Aggregation)):
         # Snapshot-relation results: regular duplicate freedom is what matters.

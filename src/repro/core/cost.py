@@ -18,6 +18,14 @@ The model is deliberately simple and transparent:
 * each operator contributes work proportional to the tuples it consumes and
   produces, with an ``n log n`` term for sorting and pairwise terms for the
   products and the value-matching temporal operations;
+* the join idiom nodes are priced from the physical algorithm their
+  predicate split selects (:mod:`repro.core.joinsplit`) — hash build+probe,
+  sort-merge interval join, or the nested-loop product bound — per engine:
+  the conventional DBMS only implements the hash equi-join natively, so
+  keyless and temporal joins keep the product bound there.  Whole-plan
+  costing additionally prices a stratum-side σ directly over a product as
+  the fused join the executor runs (never above the expanded two-node
+  form, keeping the memo search's per-shell costing exact);
 * operators executing in the DBMS (below a ``TS`` transfer in the plan) are
   scaled by an engine speed factor — the DBMS is faster for conventional
   operations, while temporal operations it would have to emulate are
@@ -31,7 +39,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple as PyTuple
 
-from .joinsplit import stratum_physical_description
+from .joinsplit import (
+    JoinSplit,
+    split_for_join,
+    split_for_selection,
+    stratum_physical_split,
+)
 from .operations import (
     Aggregation,
     BaseRelation,
@@ -120,9 +133,12 @@ class Engine:
 #     cardinality of a base relation; ``fallback`` is the caller's
 #     plain-statistics value (preferred over the estimator's default when the
 #     table has no profile, and the estimator records such tables);
-# ``operator_cardinality(node, child_cardinalities) -> Optional[float]``
+# ``operator_cardinality(node, child_cardinalities, fallback_overlap=None)
+#     -> Optional[float]``
 #     data-driven output estimate for one operator, or ``None`` to fall back
-#     to the fixed-constant model below.
+#     to the fixed-constant model below; ``fallback_overlap`` hands the
+#     model's temporal overlap constant down so estimates missing temporal
+#     statistics still honour a tuned model.
 #
 # An estimator's per-operator estimates must depend only on the node's own
 # parameters and the input cardinalities (the memo search costs operator
@@ -149,7 +165,9 @@ def _node_output(
     if isinstance(node, LiteralRelation):
         return float(len(node.relation))
     if estimator is not None:
-        estimate = estimator.operator_cardinality(node, child_estimates)
+        estimate = estimator.operator_cardinality(
+            node, child_estimates, fallback_overlap=model.overlap_fraction
+        )
         if estimate is not None:
             return float(estimate)
     return _estimate_operator(node, child_estimates, model)
@@ -208,8 +226,61 @@ def _estimate_operator(node: Operation, child_estimates: Sequence[float], model:
     return child_estimates[0] if child_estimates else 1.0
 
 
-def _operator_work(node: Operation, inputs: Sequence[float], output: float, model: CostModel) -> float:
-    """CPU work of one operator, in abstract per-tuple units."""
+
+
+def _join_algorithm_work(split: JoinSplit, inputs: Sequence[float], output: float) -> float:
+    """Work of one pipelined physical join, by the algorithm its split selects.
+
+    The formulas mirror :mod:`repro.stratum.physical` operator for operator
+    and are monotone in both input cardinalities (the branch-and-bound lower
+    bounds of the memo search require that):
+
+    * **hash** — build the right input, probe with the left, emit the
+      matches (the probe·average-chain term *is* the output term);
+    * **interval** — sort the right input by interval start, binary-search a
+      probe prefix per left tuple, emit the matches;
+    * **nested-loop** — the old product bound: every pair is considered.
+    """
+    if split.algorithm == "hash":
+        return inputs[0] + inputs[1] + output
+    if split.algorithm == "interval":
+        sorted_side = max(2.0, inputs[1])
+        return (inputs[0] + inputs[1]) * math.log2(sorted_side) + output
+    return inputs[0] * inputs[1] + output
+
+
+def _join_work(node: Operation, inputs: Sequence[float], output: float, engine: str) -> float:
+    """Engine-aware work of a ``Join``/``TemporalJoin`` idiom node.
+
+    The stratum executes every join through the physical layer, so its work
+    is the split algorithm's.  The conventional DBMS substrate implements
+    only the *hash equi-join* natively (:mod:`repro.dbms.executor`): a
+    keyless join runs there as a filter over the streamed product, and a
+    temporal join is emulated at product cost (the temporal-penalty engine
+    factor comes on top, as for every emulated temporal operation).
+    """
+    split = split_for_join(node)
+    if engine == Engine.STRATUM:
+        return _join_algorithm_work(split, inputs, output)
+    if split.algorithm == "hash" and not isinstance(node, TemporalJoin):
+        return _join_algorithm_work(split, inputs, output)
+    return inputs[0] * inputs[1] + output
+
+
+def _operator_work(
+    node: Operation,
+    inputs: Sequence[float],
+    output: float,
+    model: CostModel,
+    engine: str = "stratum",
+) -> float:
+    """CPU work of one operator, in abstract per-tuple units.
+
+    ``engine`` only matters for the join idiom nodes, whose physical
+    algorithm (and therefore work) differs between the engines; every other
+    operator's work is engine independent, with placement entering solely
+    through :func:`_engine_factor`.
+    """
     total_input = sum(inputs)
     if isinstance(node, (BaseRelation, LiteralRelation)):
         return output
@@ -218,7 +289,9 @@ def _operator_work(node: Operation, inputs: Sequence[float], output: float, mode
         return size * math.log2(size)
     if isinstance(node, (TransferToDBMS, TransferToStratum)):
         return model.transfer_cost * inputs[0]
-    if isinstance(node, (CartesianProduct, TemporalCartesianProduct, Join, TemporalJoin)):
+    if isinstance(node, (Join, TemporalJoin)):
+        return _join_work(node, inputs, output, engine)
+    if isinstance(node, (CartesianProduct, TemporalCartesianProduct)):
         return inputs[0] * inputs[1] + output
     if isinstance(node, (TemporalDifference, TemporalUnion)):
         # Value matching between the two inputs (hash partitioning by value
@@ -267,21 +340,30 @@ def operator_work(
 ) -> float:
     """The work one operator contributes when executed by ``engine``."""
     model = model or CostModel()
-    return _operator_work(node, child_cardinalities, output_cardinality, model) * _engine_factor(
-        node, engine, model
-    )
+    return _operator_work(
+        node, child_cardinalities, output_cardinality, model, engine
+    ) * _engine_factor(node, engine, model)
 
 
-def minimal_engine_factor(node: Operation, model: Optional[CostModel] = None) -> float:
-    """The cheapest engine factor any placement could give this operator.
+def minimal_operator_work(
+    node: Operation,
+    child_cardinalities: Sequence[float],
+    output_cardinality: float,
+    model: Optional[CostModel] = None,
+) -> float:
+    """The cheapest work any engine placement could give this operator.
 
-    An admissible per-operator bound for branch-and-bound: whatever transfers
-    a rewrite introduces or removes, the operator's work is scaled by at least
-    this factor.
+    An admissible per-operator lower bound for branch-and-bound.  For most
+    operators this is work at the minimal engine factor; the join idiom
+    nodes additionally have engine-*dependent work* (the DBMS lacks the
+    interval join, the stratum never pays the emulation product bound), so
+    the bound takes the true minimum over both placements.
     """
     model = model or CostModel()
     return min(
-        _engine_factor(node, Engine.STRATUM, model), _engine_factor(node, Engine.DBMS, model)
+        _operator_work(node, child_cardinalities, output_cardinality, model, engine)
+        * _engine_factor(node, engine, model)
+        for engine in (Engine.STRATUM, Engine.DBMS)
     )
 
 
@@ -291,6 +373,7 @@ def estimate_cost(
     model: Optional[CostModel] = None,
     engine: str = Engine.STRATUM,
     estimator=None,
+    physical_fusion: bool = True,
 ) -> PlanCost:
     """Estimate the execution cost of ``plan``.
 
@@ -303,7 +386,9 @@ def estimate_cost(
     source of truth, so EXPLAIN's per-operator numbers always add up to the
     totals the optimizer compares.
     """
-    annotations = cost_annotations(plan, statistics, model, engine, estimator)
+    annotations = cost_annotations(
+        plan, statistics, model, engine, estimator, physical_fusion=physical_fusion
+    )
     entries = list(annotations.values())  # post-order (children before parents)
     return PlanCost(
         total=sum(annotation.work for annotation in entries),
@@ -336,18 +421,44 @@ class OperatorCostAnnotation:
     physical: Optional[str] = None
 
 
+def _fused_selection_split(node: Operation, engine: str) -> Optional[JoinSplit]:
+    """The split the executor fuses a σ-over-product pair with, or ``None``.
+
+    The stratum fuses *every* selection directly over a product; the
+    conventional DBMS executor fuses only the hash equi-join over a
+    conventional product (:func:`repro.dbms.executor.extract_equi_join` —
+    anything else runs there as a filter over the streamed product, which
+    the product bound already prices).
+    """
+    pair = split_for_selection(node)
+    if pair is None:
+        return None
+    split, product = pair
+    if engine == Engine.STRATUM:
+        return split
+    if split.algorithm == "hash" and not isinstance(product, TemporalCartesianProduct):
+        return split
+    return None
+
+
 def cost_annotations(
     plan: Operation,
     statistics: Optional[Mapping[str, int]] = None,
     model: Optional[CostModel] = None,
     engine: str = Engine.STRATUM,
     estimator=None,
+    physical_fusion: bool = True,
 ) -> Dict[PyTuple[int, ...], OperatorCostAnnotation]:
     """Per-node cost annotations of ``plan``, keyed by plan path.
 
     The estimates are exactly the ones :func:`estimate_cost` computes — the
     same bottom-up walk, recorded per node instead of summed — so the sum of
     all ``work`` entries equals ``estimate_cost(...).total``.
+
+    With ``physical_fusion=False`` every node is priced as its own shell
+    (no σ-over-product pair pricing, no physical annotations) — the price
+    the memo search's extraction charges the plan's own expressions, used
+    for its branch-and-bound upper bound.
     """
     model = model or CostModel()
     statistics = statistics or {}
@@ -363,19 +474,61 @@ def cost_annotations(
             child_engine = Engine.STRATUM
         physical: Optional[str] = None
         fuses_child = False
-        if engine == Engine.STRATUM:
+        fused_split: Optional[JoinSplit] = None
+        if physical_fusion:
             if fused:
                 physical = "fused into σ"
+            elif engine == Engine.STRATUM:
+                split, fuses_child = stratum_physical_split(node)
+                if split is not None:
+                    physical = split.describe()
+                if fuses_child:
+                    fused_split = split
             else:
-                physical, fuses_child = stratum_physical_description(node)
+                # The DBMS fuses only the hash equi σ(×); label it like the
+                # stratum's fusion so EXPLAIN explains the product's free
+                # line there too.  A bare conventional ⋈ with equi keys is
+                # likewise executed (and priced) as the native hash join,
+                # so it carries the same annotation.
+                fused_split = _fused_selection_split(node, engine)
+                fuses_child = fused_split is not None
+                if fused_split is not None:
+                    physical = fused_split.describe()
+                elif isinstance(node, Join) and not isinstance(node, TemporalJoin):
+                    split = split_for_join(node)
+                    if split is not None and split.algorithm == "hash":
+                        physical = split.describe()
         child_cards = [
             visit(child, child_engine, path + (index,), fused=fuses_child and index == 0)
             for index, child in enumerate(node.children)
         ]
         output = _node_output(node, child_cards, statistics, model, estimator)
-        work = _operator_work(node, child_cards, output, model) * _engine_factor(
-            node, engine, model
-        )
+        if fused:
+            # A product consumed by the selection above it never
+            # materialises; the whole pair's work is charged to the σ line.
+            work = 0.0
+        else:
+            work = _operator_work(node, child_cards, output, model, engine) * _engine_factor(
+                node, engine, model
+            )
+            if fused_split is not None:
+                # σ directly over a product the executor fuses: price the
+                # pair as the cheaper of the split algorithm and the
+                # expanded two-node form — never *above* the expanded form,
+                # so whole-plan costing agrees exactly with the memo
+                # search, which prices the expanded shells separately and
+                # reaches the algorithm price through the explicit
+                # σ(×) → ⋈ rewrite.
+                product = node.children[0]
+                product_cards = annotations[path + (0,)].input_cardinalities
+                product_output = child_cards[0]
+                unfused = _operator_work(
+                    product, product_cards, product_output, model, engine
+                ) * _engine_factor(product, engine, model) + work
+                fused_work = _join_algorithm_work(
+                    fused_split, product_cards, output
+                ) * _engine_factor(node, engine, model)
+                work = min(fused_work, unfused)
         annotations[path] = OperatorCostAnnotation(
             label=node.label(),
             engine=engine,
@@ -402,8 +555,11 @@ def measure_cost(
     ``context`` — an :class:`~repro.core.operations.base.EvaluationContext`
     binding the base relations — and every operator is charged
     :func:`_operator_work` at the true input/output sizes with its engine
-    factor.  This is the deterministic "measured executor cost" the q-error
-    and plan-quality benchmarks compare estimates and plan choices against;
+    factor; a σ-over-product pair the executor fuses (every stratum-side
+    one, the DBMS-side hash equi-join) is charged its fused physical join —
+    the algorithm that actually runs — and the product itself nothing.
+    This is the deterministic "measured executor cost" the q-error and
+    plan-quality benchmarks compare estimates and plan choices against;
     unlike wall-clock timings it is stable across machines and runs.
     """
     model = model or CostModel()
@@ -415,6 +571,28 @@ def measure_cost(
             child_engine = Engine.DBMS
         elif isinstance(node, TransferToDBMS):
             child_engine = Engine.STRATUM
+        split = _fused_selection_split(node, engine)
+        if split is not None:
+            # The executor runs this σ-over-product pair as one fused
+            # physical join: charge the split algorithm's work at the true
+            # input/output sizes and nothing for the product, exactly
+            # mirroring what runs.
+            product_node = node.children[0]
+            grand_costs: List[float] = []
+            grand_results = []
+            for grandchild in product_node.children:
+                cost, result = visit(grandchild, engine)
+                grand_costs.append(cost)
+                grand_results.append(result)
+            product_result = product_node._evaluate(grand_results, context)
+            result = node._evaluate([product_result], context)
+            inputs = [float(len(relation)) for relation in grand_results]
+            work = _join_algorithm_work(
+                split, inputs, float(len(result))
+            ) * _engine_factor(node, engine, model)
+            breakdown.append((product_node.label(), engine, 0.0))
+            breakdown.append((node.label(), engine, work))
+            return sum(grand_costs) + work, result
         child_costs: List[float] = []
         child_results = []
         for child in node.children:
@@ -424,7 +602,9 @@ def measure_cost(
         result = node._evaluate(child_results, context)
         inputs = [float(len(child)) for child in child_results]
         output = float(len(result))
-        work = _operator_work(node, inputs, output, model) * _engine_factor(node, engine, model)
+        work = _operator_work(node, inputs, output, model, engine) * _engine_factor(
+            node, engine, model
+        )
         breakdown.append((node.label(), engine, work))
         return sum(child_costs) + work, result
 

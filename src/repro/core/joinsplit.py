@@ -25,6 +25,7 @@ output, so what the report prints is by construction what the executor runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from .expressions import And, AttributeRef, Comparison, ComparisonOperator, Expression
@@ -36,6 +37,8 @@ from .operations import (
     TemporalCartesianProduct,
     TemporalJoin,
 )
+from .operations.product import _disambiguated_pairs
+from .schema import RelationSchema
 
 #: The two product node types a selection can fuse with.
 PRODUCT_TYPES = (CartesianProduct, TemporalCartesianProduct)
@@ -211,16 +214,59 @@ def _product_sides(product: Operation) -> PyTuple[List[str], List[str]]:
     )
 
 
+def _schema_side_names(
+    left_schema: RelationSchema, right_schema: RelationSchema
+) -> PyTuple[List[str], List[str]]:
+    """The per-side output names a product of the two schemas would carry.
+
+    Exactly the names ``(Temporal)CartesianProduct.output_schema`` derives
+    (the same renaming helper runs underneath), without building operation
+    nodes — which lets callers key split caches on the schemas alone.
+    """
+    left = [name for name, _ in _disambiguated_pairs(left_schema, right_schema, "1.", True)]
+    right = [name for name, _ in _disambiguated_pairs(right_schema, left_schema, "2.", True)]
+    return left, right
+
+
+def split_for_join_schemas(
+    predicate: Optional[Expression],
+    left_schema: RelationSchema,
+    right_schema: RelationSchema,
+    temporal: bool,
+) -> JoinSplit:
+    """The split of a join with the given predicate over the two schemas.
+
+    The schema-level form of :func:`split_for_join`: everything the split
+    depends on is passed explicitly, so the cost model can memoise on it.
+    """
+    left_names, right_names = _schema_side_names(left_schema, right_schema)
+    return split_product_predicate(predicate, left_names, right_names, temporal)
+
+
+@lru_cache(maxsize=4096)
+def _cached_split(
+    temporal: bool,
+    predicate: Optional[Expression],
+    left_schema: RelationSchema,
+    right_schema: RelationSchema,
+) -> JoinSplit:
+    # Keyed on exactly what the split depends on: retains only predicates
+    # and schemas (both small and cheaply hashable), never plan subtrees —
+    # a node-keyed cache would pin whole child trees, including
+    # LiteralRelation payloads, for the process lifetime.
+    return split_for_join_schemas(predicate, left_schema, right_schema, temporal)
+
+
 def split_for_join(node: Operation) -> Optional[JoinSplit]:
-    """The split of a ``Join``/``TemporalJoin`` idiom node."""
+    """The split of a ``Join``/``TemporalJoin`` idiom node (memoised)."""
     if not isinstance(node, (Join, TemporalJoin)):
         return None
-    temporal = isinstance(node, TemporalJoin)
-    product = (TemporalCartesianProduct if temporal else CartesianProduct)(
-        node.children[0], node.children[1]
+    return _cached_split(
+        isinstance(node, TemporalJoin),
+        node.predicate,
+        node.children[0].output_schema(),
+        node.children[1].output_schema(),
     )
-    left_names, right_names = _product_sides(product)
-    return split_product_predicate(node.predicate, left_names, right_names, temporal)
 
 
 def split_for_selection(node: Operation) -> Optional[PyTuple[JoinSplit, Operation]]:
@@ -254,6 +300,23 @@ def split_for_product(node: Operation) -> Optional[JoinSplit]:
     )
 
 
+def stratum_physical_split(node: Operation) -> PyTuple[Optional[JoinSplit], bool]:
+    """The split a stratum-side node executes with, if it is join shaped.
+
+    Returns ``(split, fuses_product_child)`` — the flag is True when the
+    node is a selection that consumes its product child (the fused pair runs
+    as one physical join).  The single source both EXPLAIN's annotation and
+    the cost model's fused-pair pricing derive from.
+    """
+    fused = split_for_selection(node)
+    if fused is not None:
+        return fused[0], True
+    split = split_for_join(node)
+    if split is None:
+        split = split_for_product(node)
+    return split, False
+
+
 def stratum_physical_description(node: Operation) -> PyTuple[Optional[str], bool]:
     """EXPLAIN's physical-algorithm annotation for one stratum-side node.
 
@@ -261,12 +324,5 @@ def stratum_physical_description(node: Operation) -> PyTuple[Optional[str], bool
     when the node is a selection that consumes its product child, whose own
     line should then read as fused (the product's output never materialises).
     """
-    fused = split_for_selection(node)
-    if fused is not None:
-        return fused[0].describe(), True
-    split = split_for_join(node)
-    if split is None:
-        split = split_for_product(node)
-    if split is not None:
-        return split.describe(), False
-    return None, False
+    split, fuses_child = stratum_physical_split(node)
+    return (split.describe() if split is not None else None), fuses_child

@@ -47,12 +47,14 @@ from .analysis import guarantees_no_snapshot_duplicates
 from .operations import (
     Coalescing,
     DuplicateElimination,
+    Join,
     Operation,
     Sort,
     TemporalAggregation,
     TemporalCartesianProduct,
     TemporalDifference,
     TemporalDuplicateElimination,
+    TemporalJoin,
     TemporalUnion,
     TransferToDBMS,
     TransferToStratum,
@@ -154,11 +156,19 @@ def _child_order_required(
     if isinstance(parent, (UnionAll, Union, TemporalUnion)):
         return False
     # Binary operations whose result order derives from the left argument
-    # only: the right argument's order is immaterial.
+    # only: the right argument's order is immaterial.  The join idioms
+    # inherit this from the product of their expansion.
     if (
         isinstance(
             parent,
-            (CartesianProduct, TemporalCartesianProduct, Difference, TemporalDifference),
+            (
+                CartesianProduct,
+                TemporalCartesianProduct,
+                Join,
+                TemporalJoin,
+                Difference,
+                TemporalDifference,
+            ),
         )
         and child_index == 1
     ):
@@ -185,7 +195,9 @@ def _child_duplicates_relevant(
     # result's duplicate structure is determined tuple-by-tuple from the
     # argument, so if duplicates do not matter above, they do not matter
     # below either.  Aggregation and difference are deliberately excluded —
-    # duplicate counts change their results.
+    # duplicate counts change their results.  The join idioms are
+    # transparent because both operations of their expansion (selection
+    # over a product) are.
     transparent = (
         Selection,
         Projection,
@@ -195,6 +207,8 @@ def _child_duplicates_relevant(
         TransferToStratum,
         CartesianProduct,
         TemporalCartesianProduct,
+        Join,
+        TemporalJoin,
         UnionAll,
         Union,
         TemporalUnion,
@@ -237,6 +251,12 @@ def _child_period_preserving(
         ):
             return False
         if isinstance(parent, Selection) and not (
+            parent.predicate.attributes() & {T1, T2}
+        ):
+            return False
+        # The temporal join is σ over ×T: transparent when, like the
+        # selection above, its predicate avoids the fresh time attributes.
+        if isinstance(parent, TemporalJoin) and not (
             parent.predicate.attributes() & {T1, T2}
         ):
             return False

@@ -14,11 +14,14 @@ from .base import LambdaRule, RuleApplication, TransformationRule, application
 from .coalescing_rules import COALESCING_RULES
 from .conventional_rules import CONVENTIONAL_RULES
 from .duplicate_rules import DUPLICATE_RULES
+from .join_rules import JOIN_RULES
 from .sorting_rules import SORTING_RULES
 from .transfer_rules import CONVENTIONAL_OPERATIONS, TRANSFER_RULES
 
 #: Rules operating purely on the logical algebra (no transfer operations).
-ALGEBRAIC_RULES = DUPLICATE_RULES + COALESCING_RULES + SORTING_RULES + CONVENTIONAL_RULES
+ALGEBRAIC_RULES = (
+    DUPLICATE_RULES + COALESCING_RULES + SORTING_RULES + CONVENTIONAL_RULES + JOIN_RULES
+)
 
 #: The default, terminating rule set used by plan enumeration.
 DEFAULT_RULES = ALGEBRAIC_RULES + TRANSFER_RULES
@@ -36,6 +39,7 @@ __all__ = [
     "CONVENTIONAL_RULES",
     "DEFAULT_RULES",
     "DUPLICATE_RULES",
+    "JOIN_RULES",
     "LambdaRule",
     "RuleApplication",
     "SORTING_RULES",

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple as PyTuple
 
 from ..core.exceptions import EngineError
 from ..core.expressions import And, AttributeRef, Comparison, ComparisonOperator, Expression
+from ..core.joinsplit import flatten_conjuncts
 from ..core.operations import (
     Aggregation,
     BaseRelation,
@@ -103,13 +104,12 @@ def extract_equi_join(
 
     Returns ``None`` unless at least one conjunct is an equality between one
     left attribute and one right attribute (by their names in the product's
-    output schema).
+    output schema).  Conjuncts are flattened through nested ``And`` nodes,
+    matching :func:`repro.core.joinsplit.flatten_conjuncts` — the cost model
+    prices a DBMS-side join as a hash join exactly when the split finds an
+    equi conjunct, so the executor must find the same ones.
     """
-    conjuncts: List[Expression]
-    if isinstance(predicate, And):
-        conjuncts = list(predicate.operands)
-    else:
-        conjuncts = [predicate]
+    conjuncts: List[Expression] = flatten_conjuncts(predicate)
     left_set, right_set = set(left_names), set(right_names)
     left_keys: List[str] = []
     right_keys: List[str] = []

@@ -21,7 +21,7 @@ from ..core.cost import CostModel
 from ..core.equivalence import EquivalenceType
 from ..core.operations import Operation, Sort
 from ..core.query import QueryResultSpec
-from ..core.rules import CONVENTIONAL_RULES, DUPLICATE_RULES, SORTING_RULES
+from ..core.rules import CONVENTIONAL_RULES, DUPLICATE_RULES, JOIN_RULES, SORTING_RULES
 from ..core.rules.base import TransformationRule
 
 #: Rule names that push work toward the leaves or remove redundant work.
@@ -128,7 +128,7 @@ def _multiset_safe_rules() -> List[TransformationRule]:
     duplicate structure it must preserve.
     """
     rules: List[TransformationRule] = []
-    for rule in CONVENTIONAL_RULES + DUPLICATE_RULES + SORTING_RULES:
+    for rule in CONVENTIONAL_RULES + DUPLICATE_RULES + SORTING_RULES + JOIN_RULES:
         if rule.equivalence in (EquivalenceType.LIST, EquivalenceType.MULTISET):
             rules.append(rule)
     return rules

@@ -18,10 +18,11 @@ Two admissible bounds prune the extraction:
   expensive than the whole seed plan cannot occur in a better plan (operator
   work is non-negative), so its frontier entry is dropped;
 * a cheap per-group cost **lower bound** — each operator's work at its
-  minimal engine factor over lower-bounded input cardinalities (operator
-  work is monotone in its inputs even where the cardinality estimate is
-  not): an expression whose bound already exceeds the upper bound is cut
-  without ever combining its children.
+  cheapest engine placement (work formula *and* engine factor: the join
+  idiom nodes price differently per engine) over lower-bounded input
+  cardinalities (operator work is monotone in its inputs even where the
+  cardinality estimate is not): an expression whose bound already exceeds
+  the upper bound is cut without ever combining its children.
 
 ``SearchStatistics`` mirrors ``EnumerationStatistics``; its
 ``plans_considered`` counts the plan alternatives the search actually
@@ -40,7 +41,7 @@ from ..core.cost import (
     Engine,
     PlanCost,
     estimate_cost,
-    minimal_engine_factor,
+    minimal_operator_work,
     operator_cardinality,
     operator_work,
 )
@@ -217,10 +218,14 @@ class _Extractor:
         # admissible work bound.  The output estimate itself is only a valid
         # lower bound for monotone estimators — the conventional difference
         # shrinks with its right input, so its bound degrades to zero.
+        # The work bound minimises over both engine placements, which for
+        # the join idiom nodes also minimises over the per-engine *work*
+        # formulas (the stratum's interval join and the DBMS's emulated
+        # product bound are not related by a constant factor).
         card = 0.0 if isinstance(expression.shell, Difference) else output
-        work = operator_work(
-            expression.shell, child_cards, output, Engine.STRATUM, self.model
-        ) * minimal_engine_factor(expression.shell, self.model)
+        work = minimal_operator_work(
+            expression.shell, child_cards, output, self.model
+        )
         return (child_cost + work, card)
 
     # -- frontiers ---------------------------------------------------------------
@@ -346,7 +351,18 @@ class MemoSearch:
             seed, statistics_map, self.cost_model, engine=self.root_engine,
             estimator=self.estimator,
         )
-        upper_bound = seed_cost.total * self.options.upper_bound_slack + 1e-9
+        # The upper bound must be *attainable by the seed's own expressions*,
+        # which the extraction prices shell-wise: whole-plan costing charges
+        # a fused σ-over-product pair the physical join price, but the memo
+        # only reaches that price through the σ(×) → ⋈ rewrite, which the
+        # caller's rule set may not contain.  Bound with the unfused seed
+        # price (never below the fused estimate), so the seed always
+        # survives its own bound and restricted rule sets keep optimizing.
+        seed_shell_cost = estimate_cost(
+            seed, statistics_map, self.cost_model, engine=self.root_engine,
+            estimator=self.estimator, physical_fusion=False,
+        )
+        upper_bound = seed_shell_cost.total * self.options.upper_bound_slack + 1e-9
         extractor = _Extractor(
             memo, statistics_map, self.cost_model, search_statistics, upper_bound,
             estimator=self.estimator,

@@ -65,8 +65,10 @@ class OperatorLine:
     cost: float
     actual_rows: Optional[int] = None
     physical: Optional[str] = None
-    """The physical algorithm the stratum executes this operator with
-    (``hash: …``, ``interval: …``, ``nested-loop``, ``fused into σ``);
+    """The physical algorithm the executing engine runs this operator with
+    (``hash: …``, ``interval: …``, ``nested-loop``, ``fused into σ``):
+    every stratum-side join shape carries one, and so does a DBMS-side
+    σ-over-product pair the substrate fuses into its native hash join;
     ``None`` where the reference/fast-path implementation runs as-is."""
 
     @property

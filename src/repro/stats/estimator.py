@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple as P
 
 from ..core.cost import (
     DEFAULT_BASE_CARDINALITY,
+    DEFAULT_OVERLAP_FRACTION,
     DEFAULT_SELECTIVITY,
     CostModel,
     operator_cardinality,
@@ -234,10 +235,17 @@ class CardinalityEstimator:
         profiles: Mapping[str, TableProfile],
         fallback_selectivity: float = DEFAULT_SELECTIVITY,
         default_base_cardinality: float = DEFAULT_BASE_CARDINALITY,
+        fallback_overlap: float = DEFAULT_OVERLAP_FRACTION,
     ) -> None:
         self.profiles: Dict[str, TableProfile] = dict(profiles)
         self.fallback_selectivity = fallback_selectivity
         self.default_base_cardinality = default_base_cardinality
+        #: Overlap fraction used when no temporal profile exists.  The
+        #: temporal join and the temporal product must estimate through the
+        #: *same* constant in that case — the join idiom is σ ∘ ×T, and the
+        #: memo-vs-exhaustive agreement relies on both forms producing the
+        #: same cardinalities in every estimator state.
+        self.fallback_overlap = fallback_overlap
         #: Unknown base relations seen by any call since construction/reset.
         self.assumed_tables: Set[str] = set()
         total = float(sum(profile.cardinality for profile in self.profiles.values()))
@@ -300,6 +308,13 @@ class CardinalityEstimator:
         """The pooled temporal overlap fraction (None without temporal stats)."""
         return self._overlap
 
+    def _overlap_or_fallback(self, model_fallback: Optional[float] = None) -> float:
+        if self._overlap is not None:
+            return self._overlap
+        if model_fallback is not None:
+            return model_fallback
+        return self.fallback_overlap
+
     # -- the estimation interface consumed by repro.core.cost -------------------
 
     def base_cardinality(self, name: str, fallback: Optional[float] = None) -> float:
@@ -322,9 +337,21 @@ class CardinalityEstimator:
         self.assumed_tables.clear()
 
     def operator_cardinality(
-        self, node: Operation, child_cardinalities: Sequence[float]
+        self,
+        node: Operation,
+        child_cardinalities: Sequence[float],
+        fallback_overlap: Optional[float] = None,
     ) -> Optional[float]:
-        """Data-driven output estimate for one operator, or None to fall back."""
+        """Data-driven output estimate for one operator, or None to fall back.
+
+        ``fallback_overlap`` is the caller's (cost model's) temporal overlap
+        constant, used when no temporal profile exists — preferred over
+        :attr:`fallback_overlap` so a tuned :class:`~repro.core.cost.CostModel`
+        keeps steering temporal estimates.  The temporal join and the
+        temporal product resolve the overlap through the same call, keeping
+        the idiom and its σ ∘ ×T expansion in exact agreement in every
+        estimator state.
+        """
         if isinstance(node, Selection):
             return child_cardinalities[0] * self.selectivity(node.predicate)
         if isinstance(node, (Join, TemporalJoin)):
@@ -334,14 +361,14 @@ class CardinalityEstimator:
                 * self.selectivity(node.predicate)
             )
             if isinstance(node, TemporalJoin):
-                if self._overlap is None:
-                    return None
-                output *= self._overlap
+                output *= self._overlap_or_fallback(fallback_overlap)
             return output
         if isinstance(node, TemporalCartesianProduct):
-            if self._overlap is None:
-                return None
-            return child_cardinalities[0] * child_cardinalities[1] * self._overlap
+            return (
+                child_cardinalities[0]
+                * child_cardinalities[1]
+                * self._overlap_or_fallback(fallback_overlap)
+            )
         if isinstance(node, DuplicateElimination):
             if self._rdup_ratio is None:
                 return None
@@ -518,6 +545,7 @@ class CardinalityEstimator:
         """
         model = model or CostModel(
             selectivity=self.fallback_selectivity,
+            overlap_fraction=self.fallback_overlap,
             default_base_cardinality=self.default_base_cardinality,
         )
         assumed: Set[str] = set()

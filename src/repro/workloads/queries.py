@@ -19,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Tuple as PyTuple
 
-from ..core.expressions import AttributeRef, Comparison, ComparisonOperator, Literal
+from ..core.expressions import And, AttributeRef, Comparison, ComparisonOperator, Literal
 from ..core.operations import (
     BaseRelation,
+    CartesianProduct,
     Coalescing,
     Difference,
     DuplicateElimination,
@@ -29,6 +30,7 @@ from ..core.operations import (
     Projection,
     Selection,
     Sort,
+    TemporalCartesianProduct,
     TemporalDifference,
     TemporalDuplicateElimination,
     TemporalUnion,
@@ -145,6 +147,74 @@ def temporal_union_query() -> PlanAndSpec:
     return TransferToStratum(body), QueryResultSpec(coalesced=True)
 
 
+def _employee_project_match() -> Comparison:
+    """The equi predicate joining EMPLOYEE and PROJECT on the person."""
+    return Comparison(
+        ComparisonOperator.EQ, AttributeRef("1.EmpName"), AttributeRef("2.EmpName")
+    )
+
+
+def equijoin_query() -> PlanAndSpec:
+    """A conventional equi-join in its expanded σ-over-product form.
+
+    The shape the σ(×) → ⋈ rewrite exists for: the optimizer must discover
+    the :class:`~repro.core.operations.join.Join` idiom to price the hash
+    join the physical layers actually run.
+    """
+    body = Selection(
+        _employee_project_match(),
+        CartesianProduct(
+            BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA),
+            BaseRelation("PROJECT", PROJECT_SCHEMA),
+        ),
+    )
+    return TransferToStratum(body), QueryResultSpec.multiset()
+
+
+def temporal_join_query() -> PlanAndSpec:
+    """A temporal equi-join with a one-sided residual, σ-over-×T form.
+
+    Exercises the σ(×T) → ⋈T rewrite and the per-engine join pricing: the
+    DBMS would have to emulate the temporal join at product cost, so the
+    fused form only pays off on the stratum side.
+    """
+    predicate = And(
+        _employee_project_match(),
+        Comparison(ComparisonOperator.NE, AttributeRef("Dept"), Literal("Legal")),
+    )
+    body = Selection(
+        predicate,
+        TemporalCartesianProduct(
+            BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA),
+            BaseRelation("PROJECT", PROJECT_SCHEMA),
+        ),
+    )
+    return TransferToStratum(body), QueryResultSpec.multiset()
+
+
+def join_cascade_query() -> PlanAndSpec:
+    """A selection cascade over a temporal product, projected and sorted.
+
+    The interplay query: the one-sided ``Dept`` conjunct can push into the
+    product's left argument, the equi conjunct can fuse into a ⋈T, and the
+    sort can move across the transfer — the optimizer has to combine all
+    three rule families to reach the cheapest plan.
+    """
+    cascade = Selection(
+        Comparison(ComparisonOperator.EQ, AttributeRef("Dept"), Literal("Sales")),
+        Selection(
+            _employee_project_match(),
+            TemporalCartesianProduct(
+                BaseRelation("EMPLOYEE", EMPLOYEE_SCHEMA),
+                BaseRelation("PROJECT", PROJECT_SCHEMA),
+            ),
+        ),
+    )
+    order = OrderSpec.ascending("1.EmpName")
+    body = Sort(order, Projection(["1.EmpName", "Dept", "Prj", "T1", "T2"], cascade))
+    return TransferToStratum(body), QueryResultSpec.list(order)
+
+
 @dataclass(frozen=True)
 class NamedQuery:
     """A registry entry: a query constructor plus oracle metadata."""
@@ -165,6 +235,9 @@ WORKLOAD_QUERIES: PyTuple[NamedQuery, ...] = (
     NamedQuery("snapshot-except", snapshot_except_query),
     NamedQuery("union-all", union_all_query),
     NamedQuery("temporal-union", temporal_union_query),
+    NamedQuery("equijoin", equijoin_query),
+    NamedQuery("temporal-join", temporal_join_query),
+    NamedQuery("join-cascade", join_cascade_query),
     NamedQuery("chain-2", lambda: chained_query(2)),
     NamedQuery("chain-3", lambda: chained_query(3)),
     NamedQuery("chain-4", lambda: chained_query(4)),

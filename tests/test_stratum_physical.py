@@ -251,12 +251,23 @@ class TestExplainAnnotation:
             assert not fuses
             assert description in root.describe()
 
-    def test_dbms_side_nodes_are_not_annotated(self):
+    def test_dbms_side_annotations_cover_only_the_fused_hash_pair(self):
         from repro.core.operations import TransferToStratum
 
+        # The DBMS substrate fuses an equi σ(×) into its native hash join
+        # (repro.dbms.executor), so that pair is annotated like the
+        # stratum's fusion; every other DBMS-side shape runs the reference
+        # multiset operators and stays unannotated.
         plan = TransferToStratum(Selection(EQUI, CartesianProduct(SAMPLE_LEFT, SAMPLE_RIGHT)))
         annotations = cost_annotations(plan, engine=Engine.STRATUM)
-        assert annotations[(0,)].physical is None
+        assert annotations[(0,)].physical == "hash: 1.Name=2.Name"
+        assert annotations[(0, 0)].physical == "fused into σ"
+        keyless = TransferToStratum(
+            Selection(OVERLAP[0], CartesianProduct(SAMPLE_LEFT, SAMPLE_RIGHT))
+        )
+        keyless_annotations = cost_annotations(keyless, engine=Engine.STRATUM)
+        assert keyless_annotations[(0,)].physical is None
+        assert keyless_annotations[(0, 0)].physical is None
 
 
 class TestSchemaPermutationFallback:
