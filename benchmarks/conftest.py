@@ -16,17 +16,15 @@ sys.path.insert(0, str(__import__("pathlib").Path(__file__).resolve().parent.par
 
 from repro.stratum import TemporalDatabase, TemporalQueryOptimizer
 from repro.workloads import (
+    PAPER_SQL,
     employee_relation,
     project_relation,
     scaled_paper_workload,
 )
 
-#: The motivating query of the paper, in the front end's dialect.
-PAPER_STATEMENT = (
-    "SELECT DISTINCT EmpName FROM EMPLOYEE "
-    "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
-    "ORDER BY EmpName COALESCE"
-)
+#: The motivating query of the paper, in the front end's dialect (the
+#: canonical text lives with the ``concurrent-mix`` workload definitions).
+PAPER_STATEMENT = PAPER_SQL
 
 
 def make_paper_database(optimize_queries: bool = True, max_plans: int = 2000) -> TemporalDatabase:

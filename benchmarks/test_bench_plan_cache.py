@@ -18,18 +18,16 @@ from __future__ import annotations
 import statistics as pystats
 
 from repro.session import Session
+from repro.workloads import CHAINED_SQL, POINT_SQL
 
 from .conftest import PAPER_STATEMENT, banner, make_paper_database
 
 #: The serving mix: the paper's motivating statement, a longer chained
-#: variant, and a parameterized point query executed with rotating constants.
-CHAINED_STATEMENT = (
-    "SELECT DISTINCT EmpName FROM EMPLOYEE "
-    "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
-    "UNION TEMPORAL SELECT EmpName FROM PROJECT "
-    "ORDER BY EmpName COALESCE"
-)
-PARAMETERIZED_STATEMENT = "SELECT EmpName FROM EMPLOYEE WHERE Dept = ?"
+#: variant, and a parameterized point query executed with rotating constants
+#: (texts shared with the ``concurrent-mix`` workload in
+#: :mod:`repro.workloads.queries`).
+CHAINED_STATEMENT = CHAINED_SQL
+PARAMETERIZED_STATEMENT = POINT_SQL
 DEPARTMENTS = ("Sales", "Advertising", "Engineering", "Sales")
 
 #: Acceptance threshold: warm (cached) planning must be at least this much

@@ -9,7 +9,7 @@ builder is deliberately dependency-free:
   fenced code, lists, tables, links, inline code/emphasis);
 * API reference pages are **generated from docstrings** for the public
   surface (``Session``, ``TemporalDatabase``, ``MemoSearch``,
-  ``CardinalityEstimator``) into ``docs/_site/api/``;
+  ``CardinalityEstimator``, ``Server``) into ``docs/_site/api/``;
 * every internal link and anchor is checked against the generated page
   set — a broken link fails the build (exit 1), which is what the CI docs
   job asserts.
@@ -42,6 +42,7 @@ API_SURFACE = {
     "temporaldatabase": "repro.stratum.layer.TemporalDatabase",
     "memosearch": "repro.search.search.MemoSearch",
     "cardinalityestimator": "repro.stats.estimator.CardinalityEstimator",
+    "server": "repro.server.server.Server",
 }
 
 _PAGE_TEMPLATE = """<!DOCTYPE html>

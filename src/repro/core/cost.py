@@ -104,6 +104,12 @@ class CostModel:
     dbms_temporal_penalty: float = 5.0
     transfer_cost: float = 0.5
     default_base_cardinality: float = DEFAULT_BASE_CARDINALITY
+    #: Per-tuple weight of the hash join's *build* side (the right input)
+    #: relative to the probe side.  Building the table — allocating buckets,
+    #: hashing and chaining every tuple — costs more than streaming a probe,
+    #: and with a weight > 1 the formula is asymmetric in its inputs, so the
+    #: optimizer prefers plans that build on the smaller input.
+    hash_build_weight: float = 2.0
 
 
 @dataclass
@@ -228,28 +234,41 @@ def _estimate_operator(node: Operation, child_estimates: Sequence[float], model:
 
 
 
-def _join_algorithm_work(split: JoinSplit, inputs: Sequence[float], output: float) -> float:
+def _join_algorithm_work(
+    split: JoinSplit, inputs: Sequence[float], output: float, model: CostModel
+) -> float:
     """Work of one pipelined physical join, by the algorithm its split selects.
 
     The formulas mirror :mod:`repro.stratum.physical` operator for operator
     and are monotone in both input cardinalities (the branch-and-bound lower
     bounds of the memo search require that):
 
-    * **hash** — build the right input, probe with the left, emit the
-      matches (the probe·average-chain term *is* the output term);
+    * **hash** — build the right input (weighted by
+      :attr:`CostModel.hash_build_weight`: inserting into the table costs
+      more than streaming a probe, which makes the formula asymmetric and
+      lets the optimizer prefer building on the smaller input), probe with
+      the left, emit the matches (the probe·average-chain term *is* the
+      output term).  Capped at the nested-loop product bound so the weighted
+      build can never price the algorithm above the naive fallback at tiny
+      cardinalities — the min of two monotone formulas stays monotone;
     * **interval** — sort the right input by interval start, binary-search a
       probe prefix per left tuple, emit the matches;
     * **nested-loop** — the old product bound: every pair is considered.
     """
     if split.algorithm == "hash":
-        return inputs[0] + inputs[1] + output
+        return min(
+            inputs[0] + model.hash_build_weight * inputs[1] + output,
+            inputs[0] * inputs[1] + output,
+        )
     if split.algorithm == "interval":
         sorted_side = max(2.0, inputs[1])
         return (inputs[0] + inputs[1]) * math.log2(sorted_side) + output
     return inputs[0] * inputs[1] + output
 
 
-def _join_work(node: Operation, inputs: Sequence[float], output: float, engine: str) -> float:
+def _join_work(
+    node: Operation, inputs: Sequence[float], output: float, engine: str, model: CostModel
+) -> float:
     """Engine-aware work of a ``Join``/``TemporalJoin`` idiom node.
 
     The stratum executes every join through the physical layer, so its work
@@ -261,9 +280,9 @@ def _join_work(node: Operation, inputs: Sequence[float], output: float, engine: 
     """
     split = split_for_join(node)
     if engine == Engine.STRATUM:
-        return _join_algorithm_work(split, inputs, output)
+        return _join_algorithm_work(split, inputs, output, model)
     if split.algorithm == "hash" and not isinstance(node, TemporalJoin):
-        return _join_algorithm_work(split, inputs, output)
+        return _join_algorithm_work(split, inputs, output, model)
     return inputs[0] * inputs[1] + output
 
 
@@ -290,7 +309,7 @@ def _operator_work(
     if isinstance(node, (TransferToDBMS, TransferToStratum)):
         return model.transfer_cost * inputs[0]
     if isinstance(node, (Join, TemporalJoin)):
-        return _join_work(node, inputs, output, engine)
+        return _join_work(node, inputs, output, engine, model)
     if isinstance(node, (CartesianProduct, TemporalCartesianProduct)):
         return inputs[0] * inputs[1] + output
     if isinstance(node, (TemporalDifference, TemporalUnion)):
@@ -526,7 +545,7 @@ def cost_annotations(
                     product, product_cards, product_output, model, engine
                 ) * _engine_factor(product, engine, model) + work
                 fused_work = _join_algorithm_work(
-                    fused_split, product_cards, output
+                    fused_split, product_cards, output, model
                 ) * _engine_factor(node, engine, model)
                 work = min(fused_work, unfused)
         annotations[path] = OperatorCostAnnotation(
@@ -588,7 +607,7 @@ def measure_cost(
             result = node._evaluate([product_result], context)
             inputs = [float(len(relation)) for relation in grand_results]
             work = _join_algorithm_work(
-                split, inputs, float(len(result))
+                split, inputs, float(len(result)), model
             ) * _engine_factor(node, engine, model)
             breakdown.append((product_node.label(), engine, 0.0))
             breakdown.append((node.label(), engine, work))

@@ -12,12 +12,24 @@ distinct-value sets update in O(batch)), while the heavier summaries — the
 equi-depth histograms, the valid-time period histogram and the duplication
 ratios of :class:`repro.stats.estimator.TableProfile` — are rebuilt lazily
 from the accumulated rows the first time they are read after a change.
+
+**Concurrency.**  A catalog may be shared by many serving threads (see
+:mod:`repro.server`): every mutation — table creation, drop, row inserts,
+wholesale replacement — and every epoch advance happens under one catalog
+lock, so :attr:`Catalog.epoch` and the table contents always move together.
+Stored rows are held in immutable :class:`~repro.core.relation.Relation`
+instances that are swapped wholesale on change, which makes **snapshots**
+cheap: :meth:`Catalog.snapshot` pins, under the lock, the current relation
+of every table plus the epoch, giving long-running readers a consistent
+view that concurrent appends can never tear.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Tuple as PyTuple
 
 from ..core.exceptions import CatalogError, SchemaError
 from ..core.order_spec import OrderSpec
@@ -121,6 +133,10 @@ class Table:
         self.clustering = clustering or OrderSpec.unordered()
         self.version = 0
         self._owner: Optional["Catalog"] = None
+        #: Serializes mutations (and lazy profile rebuilds) on a standalone
+        #: table; once registered in a catalog, the catalog's lock is used
+        #: instead so cross-table snapshots and the epoch stay atomic.
+        self._fallback_lock = threading.RLock()
         if rows is None:
             self._relation = Relation.empty(self.schema)
         else:
@@ -130,6 +146,11 @@ class Table:
                 )
             self._relation = Relation(self.schema, rows.tuples, order=self.clustering)
         self.statistics = TableStatistics.from_relation(self._relation)
+
+    @property
+    def _lock(self) -> threading.RLock:
+        owner = self._owner
+        return owner._lock if owner is not None else self._fallback_lock
 
     @property
     def relation(self) -> Relation:
@@ -145,17 +166,21 @@ class Table:
         """Append rows (given in schema attribute order); returns how many.
 
         Statistics update incrementally from the new batch alone — the stored
-        relation is not rescanned.
+        relation is not rescanned.  The relation swap, the statistics update
+        and the epoch advance happen atomically under the catalog lock;
+        readers holding the previous relation (or a snapshot pinning it)
+        keep an untouched, consistent view.
         """
-        new_tuples: List[Tuple] = list(self._relation.tuples)
         batch: List[Tuple] = []
         for row in rows:
             batch.append(Tuple.from_sequence(self.schema, row))
-        new_tuples.extend(batch)
-        self._relation = Relation(self.schema, new_tuples, order=OrderSpec.unordered())
-        self.statistics.observe(batch)
-        if batch:
-            self._bump()
+        with self._lock:
+            new_tuples: List[Tuple] = list(self._relation.tuples)
+            new_tuples.extend(batch)
+            self._relation = Relation(self.schema, new_tuples, order=OrderSpec.unordered())
+            self.statistics.observe(batch)
+            if batch:
+                self._bump()
         return len(batch)
 
     def replace(self, relation: Relation) -> None:
@@ -165,9 +190,10 @@ class Table:
                 f"replacement rows for {self.name!r} have schema {relation.schema}, "
                 f"expected {self.schema}"
             )
-        self._relation = Relation(self.schema, relation.tuples, order=relation.order)
-        self.statistics = TableStatistics.from_relation(self._relation)
-        self._bump()
+        with self._lock:
+            self._relation = Relation(self.schema, relation.tuples, order=relation.order)
+            self.statistics = TableStatistics.from_relation(self._relation)
+            self._bump()
 
     def _bump(self) -> None:
         """Record a content change (and advance the owning catalog's epoch)."""
@@ -176,8 +202,66 @@ class Table:
             self._owner._advance_epoch()
 
     def profile(self) -> TableProfile:
-        """The table's collected statistics as a :class:`TableProfile`."""
-        return self.statistics.profile(self.name, relation=self._relation)
+        """The table's collected statistics as a :class:`TableProfile`.
+
+        The lazy rebuild runs under the table's lock so it never races a
+        concurrent insert's statistics update.
+        """
+        with self._lock:
+            return self.statistics.profile(self.name, relation=self._relation)
+
+    def pin(self) -> "SnapshotTable":
+        """A read-only view of the table's current contents and version."""
+        with self._lock:
+            return SnapshotTable(self)
+
+
+class SnapshotTable:
+    """An immutable view of one table at the moment a snapshot was taken.
+
+    Shares the pinned :class:`~repro.core.relation.Relation` instance with
+    the live table (relations are immutable; mutations swap in a new one),
+    so pinning is O(1) per table.  :meth:`profile` serves the live table's
+    cached profile while the table is still at the pinned version, and only
+    falls back to rebuilding from the pinned rows once the live table has
+    moved on.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.name = table.name
+        self.schema = table.schema
+        self.clustering = table.clustering
+        self.version = table.version
+        self._relation = table.relation
+        self._source = table
+        self._profile: Optional[TableProfile] = None
+
+    @property
+    def relation(self) -> Relation:
+        """The pinned rows."""
+        return self._relation
+
+    @property
+    def cardinality(self) -> int:
+        """Number of pinned rows."""
+        return len(self._relation)
+
+    def profile(self) -> TableProfile:
+        """The pinned rows' statistics summary (lazily built, then cached)."""
+        if self._profile is None:
+            source = self._source
+            with source._lock:
+                if source.version == self.version:
+                    self._profile = source.profile()
+            if self._profile is None:
+                self._profile = TableProfile.from_relation(self.name, self._relation)
+        return self._profile
+
+    def insert(self, rows: Iterable[Sequence]) -> int:
+        raise CatalogError(f"table {self.name!r} is a read-only snapshot")
+
+    def replace(self, relation: Relation) -> None:
+        raise CatalogError(f"table {self.name!r} is a read-only snapshot")
 
 
 class Catalog:
@@ -193,9 +277,14 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self.epoch = 0
+        #: One lock for the whole catalog: DDL, every registered table's
+        #: data changes, the epoch advance and snapshotting all serialize
+        #: here, so the epoch and the table contents always agree.
+        self._lock = threading.RLock()
 
     def _advance_epoch(self) -> None:
-        self.epoch += 1
+        with self._lock:
+            self.epoch += 1
 
     def create_table(
         self,
@@ -205,21 +294,36 @@ class Catalog:
         clustering: Optional[OrderSpec] = None,
     ) -> Table:
         """Create (and register) a table; duplicate names are rejected."""
-        if name in self._tables:
-            raise CatalogError(f"table {name!r} already exists")
         table = Table(name, schema, rows, clustering)
-        table._owner = self
-        self._tables[name] = table
-        self._advance_epoch()
+        with self._lock:
+            if name in self._tables:
+                raise CatalogError(f"table {name!r} already exists")
+            table._owner = self
+            self._tables[name] = table
+            self._advance_epoch()
         return table
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog."""
-        if name not in self._tables:
-            raise CatalogError(f"table {name!r} does not exist")
-        self._tables[name]._owner = None
-        del self._tables[name]
-        self._advance_epoch()
+        with self._lock:
+            if name not in self._tables:
+                raise CatalogError(f"table {name!r} does not exist")
+            self._tables[name]._owner = None
+            del self._tables[name]
+            self._advance_epoch()
+
+    def insert(self, name: str, rows) -> PyTuple[int, int]:
+        """Append ``rows`` to table ``name``; report ``(inserted, epoch)``.
+
+        The resulting epoch is read under the same lock acquisition as the
+        insert, so concurrent writers each observe the *exact* epoch their
+        own append moved the catalog to — the property the serving layer's
+        lost-update and snapshot-differential checks are built on (a bare
+        ``table(name).insert(...)`` followed by an epoch read would race).
+        """
+        with self._lock:
+            inserted = self.table(name).insert(rows)
+            return inserted, self.epoch
 
     def table(self, name: str) -> Table:
         """Look up a table; raise :class:`CatalogError` if missing."""
@@ -238,12 +342,75 @@ class Catalog:
 
     def statistics(self) -> Mapping[str, int]:
         """Cardinality per table, for the cost model."""
-        return {name: table.cardinality for name, table in self._tables.items()}
+        with self._lock:
+            return {name: table.cardinality for name, table in self._tables.items()}
 
     def profiles(self) -> Dict[str, TableProfile]:
         """Histogram/period/ratio summaries for every stored table."""
-        return {name: table.profile() for name, table in self._tables.items()}
+        with self._lock:
+            return {name: table.profile() for name, table in self._tables.items()}
 
     def estimator(self, **kwargs) -> CardinalityEstimator:
         """A histogram-backed cardinality estimator over the current contents."""
         return CardinalityEstimator(self.profiles(), **kwargs)
+
+    def snapshot(self) -> "CatalogSnapshot":
+        """Pin the current contents of every table plus the epoch, atomically.
+
+        The snapshot shares the stored (immutable) relations with the live
+        tables, so taking one is O(number of tables) regardless of data
+        size.  Reads against the snapshot see exactly the state the catalog
+        had at this epoch, no matter how many appends land afterwards.
+        """
+        with self._lock:
+            return CatalogSnapshot(
+                {name: table.pin() for name, table in self._tables.items()},
+                self.epoch,
+            )
+
+
+class CatalogSnapshot:
+    """A frozen, read-only view of a :class:`Catalog` at one epoch.
+
+    Duck-types the catalog's read surface (``table``/``has_table``/
+    ``table_names``/``statistics``/``profiles``/``estimator``), so the
+    executors and optimizers can run against it unchanged; any attempt to
+    mutate raises :class:`~repro.core.exceptions.CatalogError`.
+    """
+
+    def __init__(self, tables: Dict[str, SnapshotTable], epoch: int) -> None:
+        self._tables = tables
+        self.epoch = epoch
+
+    def table(self, name: str) -> SnapshotTable:
+        """Look up a pinned table; raise :class:`CatalogError` if missing."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        """True if the snapshot pinned a table with that name."""
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        """All pinned table names, sorted."""
+        return sorted(self._tables)
+
+    def statistics(self) -> Mapping[str, int]:
+        """Cardinality per pinned table, for the cost model."""
+        return {name: table.cardinality for name, table in self._tables.items()}
+
+    def profiles(self) -> Dict[str, TableProfile]:
+        """Histogram/period/ratio summaries over the pinned contents."""
+        return {name: table.profile() for name, table in self._tables.items()}
+
+    def estimator(self, **kwargs) -> CardinalityEstimator:
+        """A histogram-backed cardinality estimator over the pinned contents."""
+        return CardinalityEstimator(self.profiles(), **kwargs)
+
+    def create_table(self, *args, **kwargs):
+        raise CatalogError("catalog snapshots are read-only")
+
+    def drop_table(self, name: str) -> None:
+        raise CatalogError("catalog snapshots are read-only")

@@ -18,7 +18,7 @@ from ..core.operations import Operation
 from ..core.order_spec import OrderSpec
 from ..core.relation import Relation
 from ..core.schema import RelationSchema
-from .catalog import Catalog, Table
+from .catalog import Catalog, CatalogSnapshot, Table
 from .executor import ExecutionReport, PhysicalPlanner
 from .optimizer import ConventionalOptimizer, CostGuidedConventionalOptimizer
 from .sqlgen import to_sql
@@ -119,3 +119,62 @@ class ConventionalDBMS:
         """The SQL text corresponding to a (conventional) plan fragment."""
         final_plan = self.optimize(plan) if optimize else plan
         return to_sql(final_plan, pretty=pretty)
+
+    # -- snapshots ------------------------------------------------------------------
+
+    def snapshot(self) -> "SnapshotDBMS":
+        """A read-only engine over the catalog's current contents.
+
+        Pins every table's relation plus the statistics epoch atomically
+        (see :meth:`Catalog.snapshot`); queries executed through the
+        returned engine see exactly this state regardless of concurrent
+        appends to the live catalog.
+        """
+        return SnapshotDBMS(self.catalog.snapshot(), use_statistics=self.use_statistics)
+
+
+class SnapshotDBMS:
+    """A read-only :class:`ConventionalDBMS` facade over a pinned catalog.
+
+    Execution-compatible with the live engine (``catalog``/``execute``/
+    ``query``/``statistics``/``statistics_epoch``/``estimator``), so the
+    stratum executor and the session layer can run whole queries against a
+    snapshot unchanged.  Fragment optimization uses the cost-guided
+    optimizer over the *pinned* statistics, keeping plan choice and data
+    from the same moment.
+    """
+
+    def __init__(self, catalog: CatalogSnapshot, use_statistics: bool = False) -> None:
+        self.catalog = catalog
+        self.use_statistics = use_statistics
+        self._optimizer = CostGuidedConventionalOptimizer(
+            statistics_provider=catalog.statistics,
+            estimator_provider=catalog.estimator if use_statistics else None,
+        )
+
+    def statistics(self) -> Mapping[str, int]:
+        """Cardinality per pinned table."""
+        return self.catalog.statistics()
+
+    def statistics_epoch(self) -> int:
+        """The epoch the snapshot was taken at (never advances)."""
+        return self.catalog.epoch
+
+    def estimator(self, **kwargs):
+        """A histogram-backed estimator over the pinned contents."""
+        return self.catalog.estimator(**kwargs)
+
+    def optimize(self, plan: Operation) -> Operation:
+        """Optimize a fragment against the pinned statistics."""
+        return self._optimizer.optimize(plan)
+
+    def execute(self, plan: Operation, optimize: bool = True) -> DBMSResult:
+        """Optimize (optionally) and execute a fragment over the pinned data."""
+        final_plan = self.optimize(plan) if optimize else plan
+        planner = PhysicalPlanner(self.catalog)
+        relation = planner.execute(final_plan)
+        return DBMSResult(relation=relation, report=planner.report, optimized_plan=final_plan)
+
+    def query(self, plan: Operation, optimize: bool = True) -> Relation:
+        """Execute a plan and return only the result relation."""
+        return self.execute(plan, optimize=optimize).relation

@@ -1,0 +1,49 @@
+"""The concurrent serving layer: many sessions, one catalog, one plan cache.
+
+The paper's stratum architecture assumes a DBMS serving many concurrent
+users; this package supplies the reproduction's serving layer on top of the
+:class:`~repro.session.session.Session` lifecycle:
+
+* :class:`Server` — a fixed pool of worker threads, each running its own
+  session over the shared :class:`~repro.stratum.layer.TemporalDatabase`,
+  all sharing one process-wide, thread-safe
+  :class:`~repro.session.cache.PlanCache` (keyed by ``(fingerprint,
+  statistics epoch)``, so cross-session sharing and invalidation are safe
+  by construction);
+* **snapshot reads** — every query is pinned to a
+  :class:`~repro.stratum.layer.DatabaseSnapshot` at admission, so it
+  returns exactly the serial result for the epoch it was admitted at while
+  concurrent appends proceed;
+* **admission control** — a bounded queue with explicit rejection
+  (:class:`ServerOverloadedError`) and a per-request queue-wait deadline,
+  so overload produces backpressure instead of unbounded growth;
+* **metrics** — per-request latency percentiles, queue depth, active
+  workers and plan-cache counters as one :class:`ServerStats` snapshot;
+* :class:`TCPFrontend`/:class:`TCPClient` — an optional newline-delimited
+  JSON protocol over TCP (stdlib ``socketserver``) for remote clients.
+
+See ``docs/server.md`` for the architecture and the knobs.
+"""
+
+from .metrics import LatencyRecorder, LatencySummary, ServerStats
+from .server import (
+    Response,
+    Server,
+    ServerClosedError,
+    ServerError,
+    ServerOverloadedError,
+)
+from .tcp import TCPClient, TCPFrontend
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "Response",
+    "Server",
+    "ServerClosedError",
+    "ServerError",
+    "ServerOverloadedError",
+    "ServerStats",
+    "TCPClient",
+    "TCPFrontend",
+]

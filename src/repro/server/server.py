@@ -1,0 +1,357 @@
+"""The multi-client server core: worker pool, shared plan cache, admission.
+
+One :class:`Server` owns a :class:`~repro.stratum.layer.TemporalDatabase`
+and runs queries for many concurrent clients:
+
+* **admission** happens on the *caller's* thread: the request is stamped
+  with a deadline, the catalog is snapshotted (queries only — so the answer
+  is the serial result for the admission epoch no matter when a worker gets
+  to it), and the request enters a bounded queue.  A full queue rejects
+  immediately (:class:`ServerOverloadedError`) — backpressure, not
+  unbounded growth;
+* **execution** happens on one of ``max_concurrency`` worker threads, each
+  with its own :class:`~repro.session.session.Session` sharing the
+  process-wide plan cache.  A request whose deadline passed while it
+  queued is answered ``timed_out`` without executing, so a backlog drains
+  at dequeue speed instead of running stale work;
+* **results** travel back through a :class:`concurrent.futures.Future`
+  resolving to a :class:`Response` — also for failures, so one client's
+  bad statement never kills a worker.
+
+Appends go through the same queue (``kind="append"``), executing against
+the live catalog under its lock; the response reports the epoch the append
+moved the catalog to, which is what makes lost-update checks possible.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..core.relation import Relation
+from ..session.cache import PlanCache
+from ..session.session import Session
+from ..stratum.layer import TemporalDatabase
+from .metrics import LatencyRecorder, ServerStats
+
+
+class ServerError(Exception):
+    """Base class of the serving layer's errors."""
+
+
+class ServerOverloadedError(ServerError):
+    """Admission rejected: the request queue is at its limit."""
+
+
+class ServerClosedError(ServerError):
+    """The server is closed and accepts no new requests."""
+
+
+@dataclass
+class Response:
+    """The outcome of one request, whatever that outcome was.
+
+    ``status`` is ``"ok"``, ``"error"`` or ``"timed_out"``; rejected
+    requests never produce a response (admission raises instead).  For an
+    ``ok`` query ``relation`` holds the rows and ``epoch`` the statistics
+    epoch the query was admitted (snapshotted) at; for an ``ok`` append
+    ``rows_inserted`` and the epoch *after* the append are set.
+    """
+
+    status: str
+    kind: str
+    relation: Optional[Relation] = None
+    rows_inserted: int = 0
+    epoch: int = -1
+    cache_hit: bool = False
+    error: Optional[str] = None
+    latency_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class _Request:
+    kind: str
+    future: "Future[Response]"
+    admitted_at: float
+    deadline: Optional[float]
+    statement: str = ""
+    params: Sequence[object] = ()
+    snapshot: object = None
+    table: str = ""
+    rows: Sequence[Sequence[object]] = field(default_factory=tuple)
+
+
+_SHUTDOWN = object()
+
+
+class Server:
+    """A thread-pooled, admission-controlled front end over one database.
+
+    >>> from repro.server import Server
+    >>> from repro.workloads import employee_relation
+    >>> server = Server(max_concurrency=2)
+    >>> server.database.register("EMPLOYEE", employee_relation())
+    >>> with server:
+    ...     response = server.query("SELECT EmpName FROM EMPLOYEE WHERE Dept = ?",
+    ...                             params=("Sales",))
+    >>> sorted({t["EmpName"] for t in response.relation.tuples})
+    ['Anna', 'John']
+    """
+
+    def __init__(
+        self,
+        database: Optional[TemporalDatabase] = None,
+        max_concurrency: int = 4,
+        queue_limit: Optional[int] = 64,
+        request_timeout: Optional[float] = None,
+        cache_size: int = 512,
+        plan_cache: Optional[PlanCache] = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1 (or None for unbounded)")
+        self.database = database or TemporalDatabase()
+        self.max_concurrency = max_concurrency
+        self.queue_limit = queue_limit
+        #: Default queue-wait deadline in seconds (``None``: wait forever).
+        #: Python threads cannot be preempted mid-query, so the deadline
+        #: bounds the *queue wait*: a request that has not started executing
+        #: when it expires is answered ``timed_out`` without running.
+        self.request_timeout = request_timeout
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_limit or 0)
+        self._workers: list[threading.Thread] = []
+        self._latencies = LatencyRecorder()
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._timed_out = 0
+        self._failed = 0
+        self._active = 0
+        self._peak_active = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "Server":
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("server is closed")
+            if self._started:
+                return self
+            self._started = True
+        for index in range(self.max_concurrency):
+            worker = threading.Thread(
+                target=self._worker, name=f"repro-server-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def close(self) -> None:
+        """Stop accepting requests, drain the queue, join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._started
+        if started:
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- admission ----------------------------------------------------------------
+
+    def submit(
+        self,
+        statement: str,
+        params: Sequence[object] = (),
+        timeout: Optional[float] = None,
+    ) -> "Future[Response]":
+        """Admit a query; returns a future resolving to its :class:`Response`.
+
+        The catalog is snapshotted *here*, on the caller's thread, under the
+        catalog lock — the returned result is the serial answer for the
+        epoch current at this moment, regardless of concurrent appends and
+        of when a worker actually executes the request.  Raises
+        :class:`ServerOverloadedError` when the queue is full and
+        :class:`ServerClosedError` after :meth:`close`.
+        """
+        snapshot = self.database.snapshot()
+        return self._admit(
+            _Request(
+                kind="query",
+                future=Future(),
+                admitted_at=time.perf_counter(),
+                deadline=self._deadline(timeout),
+                statement=statement,
+                params=tuple(params),
+                snapshot=snapshot,
+            )
+        )
+
+    def submit_append(
+        self,
+        table: str,
+        rows: Iterable[Sequence[object]],
+        timeout: Optional[float] = None,
+    ) -> "Future[Response]":
+        """Admit an append of ``rows`` (in schema order) to ``table``."""
+        return self._admit(
+            _Request(
+                kind="append",
+                future=Future(),
+                admitted_at=time.perf_counter(),
+                deadline=self._deadline(timeout),
+                table=table,
+                rows=tuple(tuple(row) for row in rows),
+            )
+        )
+
+    def query(
+        self,
+        statement: str,
+        params: Sequence[object] = (),
+        timeout: Optional[float] = None,
+    ) -> Response:
+        """Admit a query and block for its response."""
+        return self.submit(statement, params, timeout=timeout).result()
+
+    def append(
+        self,
+        table: str,
+        rows: Iterable[Sequence[object]],
+        timeout: Optional[float] = None,
+    ) -> Response:
+        """Admit an append and block for its response."""
+        return self.submit_append(table, rows, timeout=timeout).result()
+
+    def _deadline(self, timeout: Optional[float]) -> Optional[float]:
+        timeout = timeout if timeout is not None else self.request_timeout
+        if timeout is None:
+            return None
+        return time.perf_counter() + timeout
+
+    def _admit(self, request: _Request) -> "Future[Response]":
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("server is closed")
+            if not self._started:
+                raise ServerClosedError("server is not started (call start())")
+            self._submitted += 1
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._lock:
+                self._rejected += 1
+            raise ServerOverloadedError(
+                f"request queue is at its limit ({self.queue_limit}); retry later"
+            ) from None
+        return request.future
+
+    # -- the workers --------------------------------------------------------------
+
+    def _worker(self) -> None:
+        # One session per worker thread: sessions are cheap, the expensive
+        # state (tables, statistics) lives in the shared database and the
+        # optimized plans in the shared thread-safe cache.
+        session = Session(self.database, cache=self.plan_cache)
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            self._process(session, item)
+
+    def _process(self, session: Session, request: _Request) -> None:
+        now = time.perf_counter()
+        if request.deadline is not None and now > request.deadline:
+            with self._lock:
+                self._timed_out += 1
+            request.future.set_result(
+                Response(
+                    status="timed_out",
+                    kind=request.kind,
+                    error="deadline expired while queued",
+                    latency_seconds=now - request.admitted_at,
+                )
+            )
+            return
+        with self._lock:
+            self._active += 1
+            self._peak_active = max(self._peak_active, self._active)
+        try:
+            if request.kind == "query":
+                result = session.execute(
+                    request.statement, request.params, snapshot=request.snapshot
+                )
+                response = Response(
+                    status="ok",
+                    kind="query",
+                    relation=result.relation,
+                    epoch=result.epoch,
+                    cache_hit=result.cache_hit,
+                )
+            else:
+                # append() reports the epoch atomically with the insert, so
+                # concurrent appends each see their own resulting epoch.
+                inserted, epoch = self.database.append(request.table, request.rows)
+                response = Response(
+                    status="ok",
+                    kind="append",
+                    rows_inserted=inserted,
+                    epoch=epoch,
+                )
+        except Exception as exc:  # one bad request must not kill the worker
+            response = Response(status="error", kind=request.kind, error=str(exc))
+        finally:
+            with self._lock:
+                self._active -= 1
+        finished = time.perf_counter()
+        response.latency_seconds = finished - request.admitted_at
+        with self._lock:
+            if response.status == "ok":
+                self._completed += 1
+            else:
+                self._failed += 1
+        self._latencies.record(response.latency_seconds)
+        request.future.set_result(response)
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """A consistent snapshot of the serving counters and gauges."""
+        with self._lock:
+            return ServerStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                rejected=self._rejected,
+                timed_out=self._timed_out,
+                failed=self._failed,
+                queue_depth=self._queue.qsize(),
+                active_workers=self._active,
+                peak_active_workers=self._peak_active,
+                max_concurrency=self.max_concurrency,
+                queue_limit=self.queue_limit,
+                epoch=self.database.statistics_epoch(),
+                latency=self._latencies.summary(),
+                plan_cache=self.plan_cache.info(),
+            )

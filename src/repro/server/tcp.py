@@ -1,0 +1,212 @@
+"""An optional TCP front end: newline-delimited JSON over ``socketserver``.
+
+The wire protocol is one JSON object per line in both directions.  Requests
+carry an ``op``:
+
+``{"op": "query", "statement": "...", "params": [...], "timeout": 1.5}``
+    Run a statement (``params`` and ``timeout`` optional).  The response is
+    ``{"status": "ok", "columns": [...], "rows": [[...], ...], "epoch": N,
+    "cache_hit": true, "latency_seconds": ...}`` — or ``status`` of
+    ``"error"``/``"timed_out"``/``"rejected"`` with an ``"error"`` message.
+
+``{"op": "append", "table": "EMPLOYEE", "rows": [[...], ...]}``
+    Append rows in schema order; an ``ok`` response reports
+    ``rows_inserted`` and the ``epoch`` the catalog advanced to.
+
+``{"op": "stats"}``
+    The server's :class:`~repro.server.metrics.ServerStats` as JSON.
+
+``{"op": "ping"}``
+    ``{"status": "ok", "pong": true}`` — liveness only.
+
+The front end is a ``ThreadingTCPServer`` whose handler threads merely parse
+lines and block on the wrapped :class:`~repro.server.server.Server` — all
+admission control, concurrency limits and snapshots stay in the server;
+the TCP layer adds no second scheduling policy.  :class:`TCPClient` is the
+matching blocking client used by the examples and the tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Sequence
+
+from .server import Response, Server, ServerOverloadedError
+
+
+def response_to_wire(response: Response) -> Dict[str, Any]:
+    """Flatten a :class:`Response` into a JSON-serializable dictionary."""
+    payload: Dict[str, Any] = {
+        "status": response.status,
+        "kind": response.kind,
+        "epoch": response.epoch,
+        "latency_seconds": response.latency_seconds,
+    }
+    if response.error is not None:
+        payload["error"] = response.error
+    if response.kind == "query" and response.relation is not None:
+        payload["columns"] = list(response.relation.schema.attributes)
+        payload["rows"] = [list(t.values()) for t in response.relation.tuples]
+        payload["cache_hit"] = response.cache_hit
+    if response.kind == "append":
+        payload["rows_inserted"] = response.rows_inserted
+    return payload
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connected client; handles any number of newline-framed requests."""
+
+    def handle(self) -> None:  # pragma: no branch - loop exits on EOF
+        server: Server = self.server.repro_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                reply = self._dispatch(server, json.loads(line))
+            except json.JSONDecodeError as exc:
+                reply = {"status": "error", "error": f"bad JSON: {exc}"}
+            except ServerOverloadedError as exc:
+                reply = {"status": "rejected", "error": str(exc)}
+            except Exception as exc:  # defensive: never kill the connection
+                reply = {"status": "error", "error": str(exc)}
+            self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+    def _dispatch(self, server: Server, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        if op == "ping":
+            return {"status": "ok", "pong": True}
+        if op == "stats":
+            return {"status": "ok", "stats": dataclasses.asdict(server.stats())}
+        if op == "query":
+            response = server.query(
+                message["statement"],
+                params=tuple(message.get("params", ())),
+                timeout=message.get("timeout"),
+            )
+            return response_to_wire(response)
+        if op == "append":
+            response = server.append(
+                message["table"],
+                message.get("rows", ()),
+                timeout=message.get("timeout"),
+            )
+            return response_to_wire(response)
+        return {"status": "error", "error": f"unknown op: {op!r}"}
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TCPFrontend:
+    """Serve a :class:`Server` over TCP with the line-JSON protocol.
+
+    Binds at construction (``port=0`` picks a free port — read ``.address``),
+    serves from a background thread after :meth:`start`, and is a context
+    manager like the server it wraps.
+    """
+
+    def __init__(self, server: Server, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = server
+        self._tcp = _ThreadingTCPServer((host, port), _RequestHandler)
+        self._tcp.repro_server = server  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        return self._tcp.server_address
+
+    def start(self) -> "TCPFrontend":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                name="repro-server-tcp",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._tcp.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._tcp.server_close()
+
+    def __enter__(self) -> "TCPFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TCPClient:
+    """A blocking line-JSON client for :class:`TCPFrontend`."""
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=connect_timeout)
+        self._socket.settimeout(None)
+        self._file = self._socket.makefile("rwb")
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, block for its reply object."""
+        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return json.loads(raw)
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def query(
+        self,
+        statement: str,
+        params: Sequence[object] = (),
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "query", "statement": statement}
+        if params:
+            message["params"] = list(params)
+        if timeout is not None:
+            message["timeout"] = timeout
+        return self.request(message)
+
+    def append(
+        self,
+        table: str,
+        rows: Sequence[Sequence[object]],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {
+            "op": "append",
+            "table": table,
+            "rows": [list(row) for row in rows],
+        }
+        if timeout is not None:
+            message["timeout"] = timeout
+        return self.request(message)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "TCPClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -18,6 +18,7 @@ repeated statements while staying *correct by keying*:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -68,42 +69,55 @@ class PlanCacheInfo:
 
 
 class PlanCache:
-    """A bounded LRU mapping :class:`PlanCacheKey` to :class:`CachedPlan`."""
+    """A bounded LRU mapping :class:`PlanCacheKey` to :class:`CachedPlan`.
+
+    The cache is **thread-safe**: one instance may be shared by every
+    session of a :class:`~repro.server.Server`, so lookups, inserts, the
+    LRU recency moves and the counters are all serialized behind one lock.
+    The critical sections are tiny (dict operations on already-optimized
+    plans) — the expensive work the cache exists to avoid happens outside
+    it, unlocked.
+    """
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError("plan cache capacity must be at least 1")
         self.capacity = capacity
         self._entries: "OrderedDict[PlanCacheKey, CachedPlan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: PlanCacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: PlanCacheKey) -> Optional[CachedPlan]:
         """Look up a plan; counts a hit or miss and refreshes recency."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        entry.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            entry.hits += 1
+            return entry
 
     def put(self, entry: CachedPlan) -> None:
         """Insert an entry, evicting the least recently used beyond capacity."""
-        self._entries[entry.key] = entry
-        self._entries.move_to_end(entry.key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def purge_stale(self, current_epoch: int) -> int:
         """Drop entries optimized against a different statistics epoch.
@@ -112,24 +126,27 @@ class PlanCache:
         superseded entries from squatting in the LRU until eviction.  Returns
         how many entries were dropped.
         """
-        stale = [key for key in self._entries if key.epoch != current_epoch]
-        for key in stale:
-            del self._entries[key]
-        self.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key.epoch != current_epoch]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
 
     def info(self) -> PlanCacheInfo:
         """The current counters as an immutable snapshot."""
-        return PlanCacheInfo(
-            hits=self.hits,
-            misses=self.misses,
-            size=len(self._entries),
-            capacity=self.capacity,
-            evictions=self.evictions,
-            invalidations=self.invalidations,
-        )
+        with self._lock:
+            return PlanCacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                size=len(self._entries),
+                capacity=self.capacity,
+                evictions=self.evictions,
+                invalidations=self.invalidations,
+            )

@@ -112,14 +112,19 @@ class Session:
         self,
         database: Optional[TemporalDatabase] = None,
         cache_size: int = 128,
+        cache: Optional[PlanCache] = None,
     ) -> None:
         self.database = database or TemporalDatabase()
-        self.cache = PlanCache(cache_size)
+        #: ``cache`` lets many sessions share one (thread-safe) plan cache —
+        #: the serving layer (:mod:`repro.server`) passes its process-wide
+        #: cache here, so a statement optimized by any session is a cache
+        #: hit for every other session at the same statistics epoch.
+        self.cache = cache if cache is not None else PlanCache(cache_size)
 
     # -- the lifecycle ------------------------------------------------------------
 
     def execute(
-        self, statement: str, params: Sequence[object] = ()
+        self, statement: str, params: Sequence[object] = (), snapshot=None
     ) -> SessionResult:
         """Run a statement end to end; ``EXPLAIN`` statements return a report.
 
@@ -127,6 +132,14 @@ class Session:
         cached) optimization outcome and the execution report; for an
         ``EXPLAIN [ANALYZE]`` statement ``relation`` is ``None`` and
         ``explain`` holds the :class:`~repro.session.explain.ExplainReport`.
+
+        With a ``snapshot`` (a :class:`~repro.stratum.layer.DatabaseSnapshot`
+        from :meth:`TemporalDatabase.snapshot`) the whole lifecycle runs
+        against the pinned state: the cache key carries the snapshot's
+        epoch, a miss optimizes against the pinned statistics, and execution
+        reads only the pinned relations — so the result is exactly the
+        serial answer at that epoch even while concurrent appends advance
+        the live catalog.
         """
         started = time.perf_counter()
         ast = parse_statement(statement)
@@ -151,9 +164,11 @@ class Session:
                 timings=SessionTimings(parse_seconds, plan_seconds, explain_seconds),
                 explain=report,
             )
-        entry, hit, plan_seconds = self._plan(ast)
+        entry, hit, plan_seconds = self._plan(ast, snapshot)
         bound = self._bind(entry, params)
-        executor = StratumExecutor(self.database.dbms)
+        executor = StratumExecutor(
+            snapshot.dbms if snapshot is not None else self.database.dbms
+        )
         execute_started = time.perf_counter()
         relation = executor.execute(bound)
         execute_seconds = time.perf_counter() - execute_started
@@ -203,24 +218,28 @@ class Session:
 
     # -- internals ----------------------------------------------------------------
 
-    def _plan(self, ast: Statement) -> "PyTuple[CachedPlan, bool, float]":
+    def _plan(self, ast: Statement, snapshot=None) -> "PyTuple[CachedPlan, bool, float]":
         started = time.perf_counter()
-        entry, hit = self._entry_for(ast)
+        entry, hit = self._entry_for(ast, snapshot)
         return entry, hit, time.perf_counter() - started
 
-    def _entry_for(self, ast: Statement) -> "PyTuple[CachedPlan, bool]":
+    def _entry_for(self, ast: Statement, snapshot=None) -> "PyTuple[CachedPlan, bool]":
         database = self.database
         fingerprint = statement_fingerprint(ast)
-        epoch = database.statistics_epoch()
+        epoch = snapshot.epoch if snapshot is not None else database.statistics_epoch()
         key = PlanCacheKey(fingerprint=fingerprint, epoch=epoch)
         cached = self.cache.get(key)
         if cached is not None:
             return cached, True
-        self.cache.purge_stale(epoch)
+        # Purge against the *live* epoch: a request planning against an
+        # older snapshot must not evict entries the current epoch still
+        # serves from a shared cache.
+        self.cache.purge_stale(database.statistics_epoch())
         if ast.explain or ast.analyze:
             ast = replace(ast, explain=False, analyze=False)
-        initial_plan, query_spec = translate(ast, self._schemas())
-        optimization = database.optimize_plan(initial_plan, query_spec)
+        schemas = snapshot.schemas() if snapshot is not None else self._schemas()
+        initial_plan, query_spec = translate(ast, schemas)
+        optimization = database.optimize_plan(initial_plan, query_spec, snapshot=snapshot)
         entry = CachedPlan(
             key=key,
             plan=optimization.chosen_plan,

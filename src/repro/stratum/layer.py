@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Mapping, Optional, Sequence
+from typing import Tuple as PyTuple
 
 from ..core.cost import CostModel, PlanCost, choose_best_plan, estimate_cost
 from ..core.enumeration import EnumerationResult, EnumerationStatistics, enumerate_plans
@@ -211,6 +212,14 @@ class TemporalDatabase:
         """Append rows (in schema order) to a base table."""
         return self.dbms.catalog.table(name).insert(rows)
 
+    def append(self, name: str, rows) -> PyTuple[int, int]:
+        """Like :meth:`insert`, but report ``(inserted, resulting epoch)``.
+
+        Both values come from one atomic catalog operation, so concurrent
+        appenders each learn the exact epoch their own rows landed at.
+        """
+        return self.dbms.catalog.insert(name, rows)
+
     def table(self, name: str) -> Relation:
         """The current contents of a base table."""
         return self.dbms.catalog.table(name).relation
@@ -227,6 +236,17 @@ class TemporalDatabase:
         bump invalidates every plan optimized against the older statistics.
         """
         return self.dbms.statistics_epoch()
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        """Pin the current table contents and epoch for consistent reads.
+
+        The returned :class:`DatabaseSnapshot` exposes the read surface a
+        query execution needs (``dbms``/``statistics``/``estimator``/
+        ``statistics_epoch``); a session executing against it sees exactly
+        the pinned state even while concurrent appends advance the live
+        catalog (see :meth:`repro.session.session.Session.execute`).
+        """
+        return DatabaseSnapshot(self, self.dbms.snapshot())
 
     def estimator(self, **kwargs):
         """A histogram-backed estimator over the current base tables."""
@@ -284,7 +304,10 @@ class TemporalDatabase:
         return outcome
 
     def optimize_plan(
-        self, initial_plan: Operation, query_spec: QueryResultSpec
+        self,
+        initial_plan: Operation,
+        query_spec: QueryResultSpec,
+        snapshot: Optional["DatabaseSnapshot"] = None,
     ) -> OptimizationOutcome:
         """Optimize a plan against the current statistics (or cost it as-is).
 
@@ -292,15 +315,19 @@ class TemporalDatabase:
         :meth:`execute_plan` and by the session layer's plan cache, so both
         entry points report identical optimization metadata.  With
         ``optimize_queries=False`` the initial plan is costed and returned
-        as the trivial single-plan outcome.
+        as the trivial single-plan outcome.  With a ``snapshot`` the
+        statistics (and, under ``use_statistics``, the estimator) come from
+        the pinned contents instead of the live catalog, so the plan matches
+        the epoch the snapshot's cache key carries.
         """
-        estimator = self.estimator() if self.use_statistics else None
+        source = snapshot if snapshot is not None else self
+        estimator = source.estimator() if self.use_statistics else None
         if self.optimize_queries:
             return self.optimizer.optimize(
-                initial_plan, query_spec, self.statistics(), estimator=estimator
+                initial_plan, query_spec, source.statistics(), estimator=estimator
             )
         cost = estimate_cost(
-            initial_plan, self.statistics(), self.optimizer.cost_model,
+            initial_plan, source.statistics(), self.optimizer.cost_model,
             estimator=estimator,
         )
         return OptimizationOutcome(
@@ -363,6 +390,56 @@ class TemporalDatabase:
     # -- helpers -----------------------------------------------------------------------
 
     def _schemas(self) -> Mapping[str, RelationSchema]:
+        return {
+            name: self.dbms.catalog.table(name).schema
+            for name in self.dbms.catalog.table_names()
+        }
+
+
+class DatabaseSnapshot:
+    """A consistent read view of a :class:`TemporalDatabase` at one epoch.
+
+    Wraps the substrate's :class:`~repro.dbms.engine.SnapshotDBMS` (every
+    table's relation pinned atomically with the epoch) and carries the
+    owning database so optimizer configuration (rules, cost model,
+    ``use_statistics``) is shared.  Sessions pass one to
+    :meth:`~repro.session.session.Session.execute` to answer a query as of
+    admission time while concurrent appends proceed; the serving layer
+    (:mod:`repro.server`) takes one per request.
+    """
+
+    def __init__(self, database: TemporalDatabase, dbms) -> None:
+        self.database = database
+        #: The pinned substrate engine (read-only).
+        self.dbms = dbms
+        #: The statistics epoch the snapshot was taken at.
+        self.epoch = dbms.statistics_epoch()
+
+    def statistics(self) -> Mapping[str, int]:
+        """Base-table cardinalities of the pinned contents."""
+        return self.dbms.statistics()
+
+    def statistics_epoch(self) -> int:
+        """The pinned epoch (never advances)."""
+        return self.epoch
+
+    def estimator(self, **kwargs):
+        """A histogram-backed estimator over the pinned contents."""
+        return self.dbms.estimator(**kwargs)
+
+    def table(self, name: str) -> Relation:
+        """The pinned contents of a base table."""
+        return self.dbms.catalog.table(name).relation
+
+    def evaluation_context(self) -> EvaluationContext:
+        """A reference-evaluation context over the pinned base tables."""
+        context = EvaluationContext()
+        for name in self.dbms.catalog.table_names():
+            context = context.bind(name, self.dbms.catalog.table(name).relation)
+        return context
+
+    def schemas(self) -> Mapping[str, RelationSchema]:
+        """Schema per pinned table (the front end's translation input)."""
         return {
             name: self.dbms.catalog.table(name).schema
             for name in self.dbms.catalog.table_names()

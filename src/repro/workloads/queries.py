@@ -248,3 +248,111 @@ WORKLOAD_QUERIES: PyTuple[NamedQuery, ...] = (
 def fully_enumerable_queries() -> List[NamedQuery]:
     """The registry entries small enough to enumerate exhaustively."""
     return [query for query in WORKLOAD_QUERIES if query.fully_enumerable]
+
+
+# -- the concurrent-mix serving workload -------------------------------------------
+#
+# The serving layer (:mod:`repro.server`) and its load benchmark need a
+# *statement-level* workload: SQL text the front end parses, not prebuilt
+# algebra.  The mix below pairs repeated parameterized reads with interleaved
+# EMPLOYEE appends; each read names the registry entry whose memo-vs-
+# exhaustive agreement run covers its plan shape, so the statements the
+# server hammers concurrently are the same ones the oracle suite has
+# certified serially.
+
+#: The motivating query of Figure 1/2 in the front end's dialect
+#: (plan shape: the ``paper`` registry entry).
+PAPER_SQL = (
+    "SELECT DISTINCT EmpName FROM EMPLOYEE "
+    "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+    "ORDER BY EmpName COALESCE"
+)
+
+#: The two-operation chain (plan shape: the ``chain-2`` registry entry).
+CHAINED_SQL = (
+    "SELECT DISTINCT EmpName FROM EMPLOYEE "
+    "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+    "UNION TEMPORAL SELECT EmpName FROM PROJECT "
+    "ORDER BY EmpName COALESCE"
+)
+
+#: The parameterized point read (plan shape: the ``selection`` registry
+#: entry, modulo the rotating constant — fingerprinting normalizes it away).
+POINT_SQL = "SELECT EmpName FROM EMPLOYEE WHERE Dept = ?"
+
+#: Constants rotated through the point read's ``?``.
+MIX_DEPARTMENTS: PyTuple[str, ...] = ("Sales", "Advertising", "Engineering", "Support")
+
+
+@dataclass(frozen=True)
+class MixStatement:
+    """One read of the serving mix: SQL text, parameter sets, oracle link."""
+
+    name: str
+    statement: str
+    #: Parameter tuples rotated across executions (``((),)`` when unbound).
+    params: PyTuple[PyTuple[object, ...], ...] = ((),)
+    #: The :data:`WORKLOAD_QUERIES` entry certifying this plan shape.
+    oracle: str = ""
+
+
+#: The reads of the ``concurrent-mix`` workload.
+CONCURRENT_MIX_READS: PyTuple[MixStatement, ...] = (
+    MixStatement("paper", PAPER_SQL, oracle="paper"),
+    MixStatement("chained", CHAINED_SQL, oracle="chain-2"),
+    MixStatement(
+        "point",
+        POINT_SQL,
+        params=tuple((dept,) for dept in MIX_DEPARTMENTS),
+        oracle="selection",
+    ),
+)
+
+
+def concurrent_mix_append_batch(index: int, rows: int = 2) -> List[PyTuple[object, ...]]:
+    """Deterministic batch ``index`` of EMPLOYEE rows for the mix's appends.
+
+    Rows are ``(EmpName, Dept, T1, T2)`` in schema order; names are unique
+    across batches so lost-update checks can count them, and periods are
+    valid closed-open months.
+    """
+    batch: List[PyTuple[object, ...]] = []
+    for row in range(rows):
+        serial = index * rows + row
+        start = 1 + (serial % 10)
+        batch.append(
+            (
+                f"Mix{serial:04d}",
+                MIX_DEPARTMENTS[serial % len(MIX_DEPARTMENTS)],
+                start,
+                start + 1 + (serial % 5),
+            )
+        )
+    return batch
+
+
+def concurrent_mix_operations(
+    operations: int, client: int = 0, append_every: int = 0
+) -> List[PyTuple[str, str, PyTuple[object, ...]]]:
+    """Client ``client``'s deterministic slice of the mix, ``operations`` long.
+
+    Returns ``("query", statement, params)`` triples, with every
+    ``append_every``-th operation replaced by ``("append", "EMPLOYEE",
+    params)`` where ``params`` is the flattened batch rows (``append_every=0``
+    keeps the slice read-only).  Different clients start at different offsets
+    so concurrent clients overlap on every statement — the contention the
+    shared plan cache and the snapshot reads exist for.
+    """
+    ops: List[PyTuple[str, str, PyTuple[object, ...]]] = []
+    appends = 0
+    for step in range(operations):
+        serial = client * 7919 + step  # distinct, overlapping per-client streams
+        if append_every and step and step % append_every == 0:
+            batch = concurrent_mix_append_batch(client * 1000 + appends)
+            appends += 1
+            ops.append(("append", "EMPLOYEE", tuple(batch)))
+            continue
+        read = CONCURRENT_MIX_READS[serial % len(CONCURRENT_MIX_READS)]
+        params = read.params[(serial // len(CONCURRENT_MIX_READS)) % len(read.params)]
+        ops.append(("query", read.statement, params))
+    return ops

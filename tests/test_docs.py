@@ -44,10 +44,12 @@ def test_site_builds_with_no_broken_links(tmp_path):
         "index.html",
         "architecture.html",
         "explain.html",
+        "server.html",
         "api/session.html",
         "api/temporaldatabase.html",
         "api/memosearch.html",
         "api/cardinalityestimator.html",
+        "api/server.html",
     } <= built
 
 

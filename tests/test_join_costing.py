@@ -220,9 +220,34 @@ class TestJoinWorkFormulas:
         left, right = _scan_pair()
         return Join(_lt("1.T1", "2.T1"), left, right)
 
-    def test_hash_join_is_build_plus_probe_plus_output(self):
+    def test_hash_join_is_probe_plus_weighted_build_plus_output(self):
+        """Pin of the hash formula: probe + hash_build_weight·build + output.
+
+        The build side is the *right* input (the physical operator builds on
+        the right, probes with the left); building the table costs more per
+        tuple than probing it, so the weight makes the optimizer prefer
+        plans that build on the smaller input.
+        """
+        model = self.MODEL
         work = operator_work(self._hash_join(), (100.0, 200.0), 40.0, Engine.STRATUM)
-        assert work == pytest.approx(100.0 + 200.0 + 40.0)
+        assert work == pytest.approx(100.0 + model.hash_build_weight * 200.0 + 40.0)
+
+    def test_hash_build_weight_is_configurable(self):
+        model = CostModel(hash_build_weight=3.5)
+        work = operator_work(
+            self._hash_join(), (100.0, 200.0), 40.0, Engine.STRATUM, model
+        )
+        assert work == pytest.approx(100.0 + 3.5 * 200.0 + 40.0)
+
+    def test_hash_join_prefers_building_on_the_smaller_input(self):
+        """With asymmetric inputs, build-on-small is strictly cheaper."""
+        join = self._hash_join()
+        build_small = operator_work(join, (200.0, 100.0), 40.0, Engine.STRATUM)
+        build_large = operator_work(join, (100.0, 200.0), 40.0, Engine.STRATUM)
+        assert build_small < build_large
+        assert build_large - build_small == pytest.approx(
+            (self.MODEL.hash_build_weight - 1.0) * 100.0
+        )
 
     def test_interval_join_is_sort_plus_merge_plus_output(self):
         work = operator_work(self._interval_join(), (100.0, 200.0), 40.0, Engine.STRATUM)
@@ -235,7 +260,9 @@ class TestJoinWorkFormulas:
     def test_dbms_prices_the_hash_join_natively(self):
         model = self.MODEL
         work = operator_work(self._hash_join(), (100.0, 200.0), 40.0, Engine.DBMS)
-        assert work == pytest.approx((100.0 + 200.0 + 40.0) * model.dbms_speed)
+        assert work == pytest.approx(
+            (100.0 + model.hash_build_weight * 200.0 + 40.0) * model.dbms_speed
+        )
 
     def test_dbms_prices_keyless_joins_as_filtered_products(self):
         """The substrate has no interval join: a keyless join runs there as a
@@ -270,7 +297,9 @@ class TestJoinWorkFormulas:
         )
         join = Join(nested, left, right)
         work = operator_work(join, (100.0, 200.0), 40.0, Engine.DBMS)
-        assert work == pytest.approx((100.0 + 200.0 + 40.0) * self.MODEL.dbms_speed)
+        assert work == pytest.approx(
+            (100.0 + self.MODEL.hash_build_weight * 200.0 + 40.0) * self.MODEL.dbms_speed
+        )
         dbms = ConventionalDBMS()
         dbms.load_relation("EMPLOYEE", employee_relation())
         dbms.load_relation("PROJECT", project_relation())
@@ -311,7 +340,8 @@ class TestFusedPairCosting:
         assert annotations[(0,)].work == 0.0
         a, b = annotations[(0,)].input_cardinalities
         output = annotations[()].output_cardinality
-        assert annotations[()].work == pytest.approx(a + b + output)
+        weight = CostModel().hash_build_weight
+        assert annotations[()].work == pytest.approx(a + weight * b + output)
 
     def test_expanded_form_is_never_priced_above_the_two_node_form(self):
         """The cap that keeps memo-vs-exhaustive agreement exact."""
@@ -359,14 +389,17 @@ class TestFusedPairCosting:
         assert annotations[(0,)].work == 0.0
         a, b = annotations[(0,)].input_cardinalities
         output = annotations[()].output_cardinality
-        assert annotations[()].work == pytest.approx((a + b + output) * model.dbms_speed)
+        weight = model.hash_build_weight
+        assert annotations[()].work == pytest.approx(
+            (a + weight * b + output) * model.dbms_speed
+        )
         measured = measure_cost(TransferToStratum(equi), _context())
         by_label = {label: work for (label, _, work) in measured.breakdown}
         employees, projects = employee_relation(), project_relation()
         result = equi.evaluate(_context())
         assert by_label[equi.child.label()] == 0.0
         assert by_label[equi.label()] == pytest.approx(
-            (len(employees) + len(projects) + len(result)) * model.dbms_speed
+            (len(employees) + weight * len(projects) + len(result)) * model.dbms_speed
         )
         # A keyless pair is *not* fused by the DBMS: product bound stays.
         keyless = Selection(_lt("1.T1", "2.T1"), CartesianProduct(left, right))
@@ -409,7 +442,9 @@ class TestFusedPairCosting:
         result = plan.evaluate(_context())
         assert by_label[plan.child.label()] == 0.0
         assert by_label[plan.label()] == pytest.approx(
-            len(employees) + len(projects) + len(result)
+            len(employees)
+            + CostModel().hash_build_weight * len(projects)
+            + len(result)
         )
 
 

@@ -1,0 +1,334 @@
+"""The serving layer: lifecycle, admission control, shared cache, TCP.
+
+Deterministic unit tests of :mod:`repro.server` — the timing-sensitive
+admission paths (rejection, queue-wait timeout) are driven by blocking the
+worker pool on an event rather than by racing sleeps, so they cannot flake.
+The snapshot-differential and stress coverage lives in
+``tests/test_server_snapshots.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.server import (
+    Server,
+    ServerClosedError,
+    ServerOverloadedError,
+    TCPClient,
+    TCPFrontend,
+)
+from repro.server.metrics import LatencyRecorder, percentile
+from repro.session import Session
+from repro.session.cache import PlanCache
+from repro.stratum import TemporalDatabase
+from repro.workloads import PAPER_SQL, POINT_SQL, employee_relation, project_relation
+
+
+def make_server(**kwargs) -> Server:
+    database = TemporalDatabase()
+    database.register("EMPLOYEE", employee_relation())
+    database.register("PROJECT", project_relation())
+    return Server(database, **kwargs)
+
+
+BLOCK_MARKER = "SELECT-BLOCK-MARKER"
+
+
+@pytest.fixture
+def blockable(monkeypatch):
+    """Patch worker sessions so the BLOCK_MARKER statement parks on an event.
+
+    Lets a test occupy every worker deterministically, then fill the queue,
+    then release — no sleeps, no races.
+    """
+    release = threading.Event()
+    real_execute = Session.execute
+
+    def execute(self, statement, params=(), snapshot=None):
+        if statement == BLOCK_MARKER:
+            assert release.wait(timeout=30.0), "test never released the workers"
+            raise ValueError("block marker completed")
+        return real_execute(self, statement, params, snapshot=snapshot)
+
+    monkeypatch.setattr(Session, "execute", execute)
+    yield release
+    release.set()
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+class TestLifecycle:
+    def test_context_manager_runs_queries(self):
+        with make_server(max_concurrency=2) as server:
+            response = server.query(POINT_SQL, params=("Sales",))
+            assert response.ok and response.kind == "query"
+            assert sorted({t["EmpName"] for t in response.relation.tuples}) == [
+                "Anna",
+                "John",
+            ]
+
+    def test_submit_before_start_and_after_close_raise(self):
+        server = make_server()
+        with pytest.raises(ServerClosedError):
+            server.submit(PAPER_SQL)
+        server.start()
+        assert server.query(PAPER_SQL).ok
+        server.close()
+        with pytest.raises(ServerClosedError):
+            server.submit(PAPER_SQL)
+        server.close()  # idempotent
+
+    def test_close_drains_queued_requests(self, blockable):
+        server = make_server(max_concurrency=1)
+        server.start()
+        blocker = server.submit(BLOCK_MARKER)
+        _wait_until(lambda: server.stats().active_workers == 1)
+        queued = server.submit(POINT_SQL, params=("Sales",))
+        blockable.set()
+        server.close()
+        assert blocker.result(timeout=5).status == "error"
+        assert queued.result(timeout=5).ok
+
+    def test_constructor_validates_knobs(self):
+        with pytest.raises(ValueError):
+            Server(max_concurrency=0)
+        with pytest.raises(ValueError):
+            Server(queue_limit=0)
+
+
+class TestExecution:
+    def test_bad_statement_returns_error_response_and_worker_survives(self):
+        with make_server(max_concurrency=1) as server:
+            bad = server.query("SELECT FROM WHERE")
+            assert bad.status == "error" and bad.error
+            good = server.query(PAPER_SQL)
+            assert good.ok
+
+    def test_append_reports_rows_and_epoch(self):
+        with make_server() as server:
+            before = server.database.statistics_epoch()
+            response = server.append("EMPLOYEE", [("Zoe", "Sales", 1, 5)])
+            assert response.ok and response.kind == "append"
+            assert response.rows_inserted == 1
+            assert response.epoch == before + 1
+
+    def test_unknown_table_append_is_an_error_response(self):
+        with make_server() as server:
+            response = server.append("NOPE", [("x",)])
+            assert response.status == "error"
+
+    def test_server_matches_serial_session(self):
+        database = TemporalDatabase()
+        database.register("EMPLOYEE", employee_relation())
+        database.register("PROJECT", project_relation())
+        serial = Session(database).execute(PAPER_SQL).relation
+        with make_server(max_concurrency=4) as server:
+            futures = [server.submit(PAPER_SQL) for _ in range(8)]
+            for future in futures:
+                response = future.result(timeout=30)
+                assert response.ok
+                assert list(response.relation.tuples) == list(serial.tuples)
+
+
+class TestSharedPlanCache:
+    def test_second_worker_hits_the_shared_cache(self):
+        # max_concurrency=2 gives two distinct sessions; the statement is
+        # optimized once and every later execution hits, whichever worker.
+        with make_server(max_concurrency=2) as server:
+            first = server.query(PAPER_SQL)
+            assert first.ok and not first.cache_hit
+            hits = [server.query(PAPER_SQL) for _ in range(8)]
+            assert all(r.ok and r.cache_hit for r in hits)
+            info = server.plan_cache.info()
+            assert info.misses == 1
+            assert info.hits == 8
+
+    def test_external_cache_is_shared_across_servers(self):
+        cache = PlanCache(64)
+        database = TemporalDatabase()
+        database.register("EMPLOYEE", employee_relation())
+        database.register("PROJECT", project_relation())
+        with Server(database, plan_cache=cache) as first:
+            assert not first.query(PAPER_SQL).cache_hit
+        with Server(database, plan_cache=cache) as second:
+            assert second.query(PAPER_SQL).cache_hit
+
+    def test_append_invalidates_across_workers(self):
+        with make_server(max_concurrency=2) as server:
+            assert not server.query(POINT_SQL, params=("Sales",)).cache_hit
+            assert server.query(POINT_SQL, params=("Sales",)).cache_hit
+            server.append("EMPLOYEE", [("Fresh", "Sales", 2, 4)])
+            after = server.query(POINT_SQL, params=("Sales",))
+            assert not after.cache_hit, "stale plan served after epoch bump"
+            assert any(t["EmpName"] == "Fresh" for t in after.relation.tuples)
+            assert server.query(POINT_SQL, params=("Sales",)).cache_hit
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_with_backpressure(self, blockable):
+        server = make_server(max_concurrency=1, queue_limit=2)
+        server.start()
+        try:
+            blocker = server.submit(BLOCK_MARKER)
+            _wait_until(lambda: server.stats().active_workers == 1)
+            queued = [server.submit(POINT_SQL, params=("Sales",)) for _ in range(2)]
+            with pytest.raises(ServerOverloadedError):
+                server.submit(POINT_SQL, params=("Sales",))
+            stats = server.stats()
+            assert stats.rejected == 1
+            assert stats.queue_depth == 2
+            blockable.set()
+            assert blocker.result(timeout=5).status == "error"
+            for future in queued:
+                assert future.result(timeout=5).ok
+        finally:
+            blockable.set()
+            server.close()
+        assert server.stats().rejected == 1
+
+    def test_deadline_expired_in_queue_times_out_without_running(self, blockable):
+        server = make_server(max_concurrency=1)
+        server.start()
+        try:
+            blocker = server.submit(BLOCK_MARKER)
+            _wait_until(lambda: server.stats().active_workers == 1)
+            doomed = server.submit(POINT_SQL, params=("Sales",), timeout=0.01)
+            time.sleep(0.05)  # let the deadline pass while it queues
+            blockable.set()
+            response = doomed.result(timeout=5)
+            assert response.status == "timed_out"
+            assert response.relation is None
+            assert blocker.result(timeout=5).status == "error"
+            stats = server.stats()
+            assert stats.timed_out == 1
+        finally:
+            blockable.set()
+            server.close()
+
+    def test_default_request_timeout_applies(self, blockable):
+        server = make_server(max_concurrency=1, request_timeout=0.01)
+        server.start()
+        try:
+            blocker = server.submit(BLOCK_MARKER, timeout=30.0)
+            _wait_until(lambda: server.stats().active_workers == 1)
+            doomed = server.submit(POINT_SQL, params=("Sales",))
+            time.sleep(0.05)
+            blockable.set()
+            assert doomed.result(timeout=5).status == "timed_out"
+            blocker.result(timeout=5)
+        finally:
+            blockable.set()
+            server.close()
+
+    def test_peak_active_workers_is_bounded_by_max_concurrency(self):
+        with make_server(max_concurrency=2) as server:
+            futures = [server.submit(PAPER_SQL) for _ in range(12)]
+            for future in futures:
+                assert future.result(timeout=30).ok
+            stats = server.stats()
+            assert 1 <= stats.peak_active_workers <= 2
+
+    def test_stats_accounting_adds_up(self, blockable):
+        server = make_server(max_concurrency=1, queue_limit=1)
+        server.start()
+        try:
+            blocker = server.submit(BLOCK_MARKER)
+            _wait_until(lambda: server.stats().active_workers == 1)
+            server.submit(POINT_SQL, params=("Sales",))
+            with pytest.raises(ServerOverloadedError):
+                server.submit(POINT_SQL, params=("Sales",))
+            blockable.set()
+        finally:
+            blockable.set()
+            server.close()
+        stats = server.stats()
+        assert stats.submitted == 3
+        assert stats.completed + stats.failed + stats.rejected == 3
+        assert stats.rejected == 1
+        assert stats.queue_depth == 0 and stats.active_workers == 0
+
+
+class TestMetrics:
+    def test_percentiles_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_recorder_summary(self):
+        recorder = LatencyRecorder(capacity=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):  # first value falls off the ring
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(3.5)
+        assert summary.max == 5.0
+
+    def test_latency_recorded_per_request(self):
+        with make_server() as server:
+            server.query(PAPER_SQL)
+            summary = server.stats().latency
+            assert summary.count == 1
+            assert summary.p50 > 0.0
+
+
+class TestTCPFrontend:
+    def test_round_trip_query_append_stats(self):
+        with make_server(max_concurrency=2) as server:
+            with TCPFrontend(server) as frontend:
+                host, port = frontend.address
+                with TCPClient(host, port) as client:
+                    assert client.ping() == {"status": "ok", "pong": True}
+
+                    reply = client.query(POINT_SQL, params=["Sales"])
+                    assert reply["status"] == "ok"
+                    assert reply["columns"] == ["EmpName", "T1", "T2"]
+                    names = {row[0] for row in reply["rows"]}
+                    assert names == {"Anna", "John"}
+
+                    appended = client.append("EMPLOYEE", [["Rem", "Sales", 3, 6]])
+                    assert appended["status"] == "ok"
+                    assert appended["rows_inserted"] == 1
+
+                    again = client.query(POINT_SQL, params=["Sales"])
+                    assert "Rem" in {row[0] for row in again["rows"]}
+
+                    stats = client.stats()["stats"]
+                    assert stats["completed"] >= 3
+                    assert stats["plan_cache"]["misses"] >= 1
+
+    def test_protocol_errors_keep_the_connection_alive(self):
+        with make_server() as server:
+            with TCPFrontend(server) as frontend:
+                host, port = frontend.address
+                with TCPClient(host, port) as client:
+                    assert client.request({"op": "nope"})["status"] == "error"
+                    bad_sql = client.query("SELECT FROM WHERE")
+                    assert bad_sql["status"] == "error"
+                    # The connection still serves after both errors.
+                    assert client.ping()["status"] == "ok"
+
+    def test_multiple_clients_share_one_server(self):
+        with make_server(max_concurrency=2) as server:
+            with TCPFrontend(server) as frontend:
+                host, port = frontend.address
+                clients = [TCPClient(host, port) for _ in range(4)]
+                try:
+                    for client in clients:
+                        assert client.query(PAPER_SQL)["status"] == "ok"
+                finally:
+                    for client in clients:
+                        client.close()
+            info = server.plan_cache.info()
+            assert info.misses == 1 and info.hits == 3
