@@ -43,6 +43,8 @@ API_SURFACE = {
     "memosearch": "repro.search.search.MemoSearch",
     "cardinalityestimator": "repro.stats.estimator.CardinalityEstimator",
     "server": "repro.server.server.Server",
+    "tracer": "repro.obs.trace.Tracer",
+    "metricsregistry": "repro.obs.metrics.MetricsRegistry",
 }
 
 _PAGE_TEMPLATE = """<!DOCTYPE html>

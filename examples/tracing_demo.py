@@ -1,0 +1,66 @@
+"""Tracing demo: one traced request, exported for Chrome/Perfetto.
+
+Runs the paper's motivating query through a :class:`repro.session.Session`
+with a :class:`repro.obs.Tracer` attached, then:
+
+* prints the trace as an indented span tree (parse → optimize → bind →
+  execute, with one child span per physical operator, carrying row counts);
+* names the slowest operator — where the request's wall clock actually
+  went;
+* writes the trace in Chrome-trace-event JSON to
+  ``tracing_demo_trace.json`` — open it at ``chrome://tracing`` or
+  https://ui.perfetto.dev to see the request on a timeline.
+
+Run with::
+
+    PYTHONPATH=src python examples/tracing_demo.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import Tracer
+from repro.session import Session
+from repro.workloads import PAPER_SQL, employee_relation, project_relation
+
+OUT_PATH = Path("tracing_demo_trace.json")
+
+
+def print_span(span, depth: int = 0) -> None:
+    note = ""
+    if "rows" in span.attributes and span.attributes["rows"] is not None:
+        note = f"  rows={span.attributes['rows']}"
+    print(f"  {'  ' * depth}{span.name:<30} {span.duration * 1e3:8.3f}ms{note}")
+    for child in span.children:
+        print_span(child, depth + 1)
+
+
+def main() -> None:
+    tracer = Tracer()
+    session = Session(tracer=tracer)
+    session.database.register("EMPLOYEE", employee_relation())
+    session.database.register("PROJECT", project_relation())
+
+    result = session.execute(PAPER_SQL)
+    print(f"query returned {len(result.relation)} rows, trace {result.trace_id}\n")
+
+    trace = tracer.recent()[-1]
+    print_span(trace.root)
+
+    # The slowest *leaf-level* work: operator spans under "execute".
+    execute = trace.find("execute")
+    operators = list(execute.children)
+    slowest = max(operators, key=lambda span: span.duration)
+    share = 100.0 * slowest.duration / trace.root.duration
+    print(
+        f"\nslowest operator: {slowest.name} — "
+        f"{slowest.duration * 1e3:.3f}ms ({share:.0f}% of the request)"
+    )
+
+    OUT_PATH.write_text(json.dumps(trace.to_chrome_trace(), indent=2))
+    print(f"Chrome-trace JSON written to {OUT_PATH} ({len(operators)} operator spans)")
+    print("open chrome://tracing or https://ui.perfetto.dev and load the file")
+
+
+if __name__ == "__main__":
+    main()

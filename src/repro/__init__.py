@@ -39,6 +39,17 @@ coalescing.  This package implements that foundation end to end:
     fingerprint and statistics epoch, ``?`` parameter binding, and
     ``EXPLAIN [ANALYZE]`` with per-operator estimates vs. actuals.
 
+``repro.server``
+    the concurrent serving layer: a worker-pool ``Server`` over one shared
+    database and plan cache, snapshot-pinned reads, admission control, and
+    a newline-JSON TCP front end.
+
+``repro.obs``
+    observability: per-request structured traces (Chrome-trace export,
+    injectable clocks, deterministic sampling), a process-wide metrics
+    registry with Prometheus text exposition, and a slow-query log
+    carrying per-operator estimate-vs-actual q-errors.
+
 ``repro.workloads``
     the paper's example relations and scalable synthetic temporal workloads
     used by the examples, tests and benchmarks.

@@ -14,7 +14,7 @@ paper's motivation for letting the stratum take those operations over.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple as PyTuple
+from typing import Callable, List, Optional, Sequence, Tuple as PyTuple
 
 from ..core.exceptions import EngineError
 from ..core.expressions import And, AttributeRef, Comparison, ComparisonOperator, Expression
@@ -76,12 +76,30 @@ TEMPORAL_OPERATIONS = (
 )
 
 
+@dataclass(frozen=True)
+class OperatorSpan:
+    """One physical operator's measured drain, for traces and EXPLAIN.
+
+    Only produced when the planner runs with a clock (observability on);
+    ``start`` is in the injected clock's domain, ``duration`` is inclusive
+    wall-clock from first pull to exhaustion, children included.
+    """
+
+    operator: str
+    rows: Optional[int]
+    start: float
+    duration: float
+
+
 @dataclass
 class ExecutionReport:
     """What happened while executing one plan fragment in the DBMS."""
 
     emulated_operations: List[str] = field(default_factory=list)
     native_operations: int = 0
+    #: Per-operator timed drains, in plan order; empty unless the planner
+    #: was constructed with a clock.
+    operator_spans: List[OperatorSpan] = field(default_factory=list)
 
     @property
     def emulation_count(self) -> int:
@@ -142,10 +160,19 @@ def extract_equi_join(
 
 
 class PhysicalPlanner:
-    """Compile logical plans against a catalog into physical operators."""
+    """Compile logical plans against a catalog into physical operators.
 
-    def __init__(self, catalog: Catalog) -> None:
+    With a ``clock`` (a monotonic callable; observability on) every
+    constructed operator gets a timer before any draining happens — which
+    matters for emulated temporal fragments, whose children are drained
+    *during* compilation — and :meth:`execute` fills
+    :attr:`ExecutionReport.operator_spans` afterwards.
+    """
+
+    def __init__(self, catalog: Catalog, clock: Optional[Callable[[], float]] = None) -> None:
         self._catalog = catalog
+        self._clock = clock
+        self._timed_operators: List[PhysicalOperator] = []
         self.report = ExecutionReport()
 
     # -- public API ------------------------------------------------------------
@@ -153,12 +180,24 @@ class PhysicalPlanner:
     def plan(self, logical: Operation) -> PhysicalOperator:
         """Compile ``logical`` into a physical operator tree."""
         self.report = ExecutionReport()
+        self._timed_operators = []
         return self._plan(logical)
 
     def execute(self, logical: Operation) -> Relation:
         """Compile and drain ``logical``, returning the result relation."""
         physical = self.plan(logical)
         relation = physical.to_relation()
+        if self._clock is not None:
+            self.report.operator_spans.extend(
+                OperatorSpan(
+                    operator=operator.describe(),
+                    rows=operator.rows_out,
+                    start=operator.started_at,
+                    duration=operator.elapsed_seconds,
+                )
+                for operator in self._timed_operators
+                if operator.elapsed_seconds is not None
+            )
         if isinstance(logical, Sort):
             return relation.with_order(logical.sort_order)
         return relation
@@ -166,6 +205,14 @@ class PhysicalPlanner:
     # -- compilation ------------------------------------------------------------
 
     def _plan(self, node: Operation) -> PhysicalOperator:
+        if self._clock is None:
+            return self._compile(node)
+        operator = self._compile(node)
+        operator._timer = self._clock
+        self._timed_operators.append(operator)
+        return operator
+
+    def _compile(self, node: Operation) -> PhysicalOperator:
         if isinstance(node, BaseRelation):
             table = self._catalog.table(node.relation_name)
             self.report.native_operations += 1

@@ -11,7 +11,7 @@ reason the paper's transfer rules only preserve ≡M.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple as PyTuple
 
 from ..core.expressions import AggregateFunction, Expression, ProjectionItem, guarded_compile
 from ..core.order_spec import OrderSpec
@@ -21,13 +21,46 @@ from ..core.tuples import Tuple
 
 
 class PhysicalOperator:
-    """Base class: an iterable of tuples with a known output schema."""
+    """Base class: an iterable of tuples with a known output schema.
+
+    Subclasses implement :meth:`_iterate`; iteration dispatches through the
+    base so observability can interpose.  Untimed (the default), ``__iter__``
+    returns the subclass iterator directly — one branch, no wrapper, no
+    per-tuple cost.  When the executor assigns ``_timer`` (a monotonic clock
+    callable) the drain also counts rows and records
+    ``started_at``/``elapsed_seconds`` — inclusive wall-clock from first
+    pull to exhaustion, children included — for EXPLAIN ANALYZE and traces.
+    """
 
     def __init__(self, output_schema: RelationSchema) -> None:
         self.output_schema = output_schema
+        self._timer: Optional[Callable[[], float]] = None
+        self.rows_out: Optional[int] = None
+        self.started_at: Optional[float] = None
+        self.elapsed_seconds: Optional[float] = None
 
     def __iter__(self) -> Iterator[Tuple]:
+        if self._timer is None:
+            return self._iterate()
+        return self._timed_iterate(self._timer)
+
+    def _iterate(self) -> Iterator[Tuple]:
         raise NotImplementedError
+
+    def _timed_iterate(self, clock: Callable[[], float]) -> Iterator[Tuple]:
+        self.started_at = clock()
+        count = 0
+        for tup in self._iterate():
+            count += 1
+            yield tup
+        self.rows_out = count
+        self.elapsed_seconds = clock() - self.started_at
+
+    def operators(self) -> Iterator["PhysicalOperator"]:
+        """This operator and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.operators()
 
     def to_relation(self) -> Relation:
         """Drain the operator into a relation."""
@@ -57,7 +90,7 @@ class TableScan(PhysicalOperator):
         self._relation = relation
         self._name = name or relation.schema.name or "relation"
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         return iter(self._relation)
 
     def describe(self) -> str:
@@ -73,7 +106,7 @@ class FilterOperator(PhysicalOperator):
         self._compiled = guarded_compile(predicate, child.output_schema)
         self._child = child
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         predicate = self._compiled
         for tup in self._child:
             if predicate(tup):
@@ -102,7 +135,7 @@ class ProjectOperator(PhysicalOperator):
         )
         self._child = child
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         columns = self._columns
         for tup in self._child:
             values = {name: expression(tup) for name, expression in columns}
@@ -126,7 +159,7 @@ class RelabelOperator(PhysicalOperator):
         super().__init__(output_schema)
         self._child = child
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         attributes = self.output_schema.attributes
         for tup in self._child:
             yield Tuple(self.output_schema, dict(zip(attributes, tup.values())))
@@ -146,7 +179,7 @@ class SortOperator(PhysicalOperator):
         self._order = order
         self._child = child
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         key = self._order.comparison_key()
         return iter(sorted(self._child, key=key))
 
@@ -164,7 +197,7 @@ class HashDistinct(PhysicalOperator):
         super().__init__(output_schema or child.output_schema)
         self._child = child
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         seen = set()
         attributes = self.output_schema.attributes
         for tup in self._child:
@@ -202,7 +235,7 @@ class HashAggregate(PhysicalOperator):
         self._child = child
         self._group_output_names = tuple(group_output_names or grouping)
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         groups: Dict[PyTuple, List[Tuple]] = {}
         order: List[PyTuple] = []
         for tup in self._child:
@@ -238,7 +271,7 @@ class NestedLoopProduct(PhysicalOperator):
         self._left = left
         self._right = right
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         right_rows = list(self._right)
         attributes = self.output_schema.attributes
         for left_tuple in self._left:
@@ -275,7 +308,7 @@ class HashJoin(PhysicalOperator):
         self._left = left
         self._right = right
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         table: Dict[PyTuple, List[Tuple]] = {}
         for right_tuple in self._right:
             key = tuple(right_tuple[attribute] for attribute in self._right_keys)
@@ -306,7 +339,7 @@ class UnionAllOperator(PhysicalOperator):
         self._left = left
         self._right = right
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         attributes = self.output_schema.attributes
         for tup in self._left:
             yield tup
@@ -336,7 +369,7 @@ class HashMultisetDifference(PhysicalOperator):
         self._left = left
         self._right = right
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         attributes = self.output_schema.attributes
 
         def relabel(tup: Tuple) -> Tuple:
@@ -375,7 +408,7 @@ class HashMultisetUnion(PhysicalOperator):
         self._left = left
         self._right = right
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         attributes = self.output_schema.attributes
 
         def relabel(tup: Tuple) -> Tuple:
@@ -416,7 +449,7 @@ class MaterializedInput(PhysicalOperator):
         self._relation = relation
         self._note = note
 
-    def __iter__(self) -> Iterator[Tuple]:
+    def _iterate(self) -> Iterator[Tuple]:
         return iter(self._relation)
 
     def describe(self) -> str:

@@ -1,0 +1,38 @@
+"""`repro.obs` — observability: tracing, metrics, slow-query logging.
+
+Three small, dependency-free pieces the rest of the stack threads
+through:
+
+* :mod:`repro.obs.trace` — per-request structured traces (nested spans
+  with injectable clocks, deterministic sampling, Chrome-trace export);
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges
+  and histograms with Prometheus text exposition;
+* :mod:`repro.obs.slowlog` — threshold-gated structured records for the
+  slow tail, carrying per-operator estimate-vs-actual q-errors.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .slowlog import SlowQueryLog, build_slow_query_record, q_error
+from .trace import Span, Trace, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "Tracer",
+    "build_slow_query_record",
+    "q_error",
+]

@@ -1,0 +1,275 @@
+"""Structured tracing: per-request traces of nested, timed spans.
+
+One :class:`Trace` records one request's journey through the layers —
+parse → bind → optimize → execute, with per-operator children under the
+execute span — as a tree of :class:`Span` objects, each carrying a
+monotonic start offset, a duration and free-form attributes.  The
+:class:`Tracer` is the factory and retention policy: it decides (by a
+deterministic modular sampler) whether a request is traced at all, stamps
+trace ids, and keeps the last N finished traces for the ``trace``
+introspection command of the TCP front end.
+
+Two design rules keep the layer honest on the serving path:
+
+* **disabled means one branch** — an untraced request costs exactly one
+  ``if tracer is None`` / ``start_trace() is None`` test per span site;
+  no object is allocated, no clock is read.  The overhead benchmark
+  (``benchmarks/test_bench_observability_overhead.py``) pins this.
+* **the clock is injected** — every timestamp comes from the tracer's
+  ``clock`` callable (default :func:`time.perf_counter`), so tests drive a
+  fake monotonic clock and assert exact durations.
+
+Traces export two ways: :meth:`Trace.to_dict` (structured, JSON-safe) and
+:meth:`Trace.to_chrome_trace` — the Chrome trace-event format (complete
+``"X"`` events with microsecond ``ts``/``dur``), loadable directly in
+Perfetto or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One timed, attributed section of a trace.
+
+    ``start`` is in the trace's clock domain (monotonic seconds);
+    ``duration`` is filled when the span closes.  ``attributes`` is a flat
+    ``str -> JSON-safe value`` mapping; ``children`` are spans opened (or
+    recorded after the fact) while this span was the innermost open one.
+    """
+
+    __slots__ = ("name", "start", "duration", "attributes", "children")
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.duration: Optional[float] = None
+        self.attributes: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes; later calls overwrite on key collision."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span subtree as plain dicts (JSON-safe)."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _OpenSpan:
+    """Context manager produced by :meth:`Trace.span`."""
+
+    __slots__ = ("_trace", "span")
+
+    def __init__(self, trace: "Trace", span: Span) -> None:
+        self._trace = trace
+        self.span = span
+
+    def set(self, **attributes: Any) -> None:
+        self.span.set(**attributes)
+
+    def __enter__(self) -> "_OpenSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._trace._close(self.span)
+
+
+class Trace:
+    """One request's span tree, rooted at the request span itself.
+
+    Spans nest through a stack: :meth:`span` opens a child of the innermost
+    open span and closes it when the ``with`` block exits.  Operator spans
+    measured elsewhere (the executors time their operators themselves) are
+    attached after the fact with :meth:`record`, which takes an explicit
+    ``start``/``duration`` pair from the same clock.
+    """
+
+    def __init__(self, trace_id: str, name: str, clock: Callable[[], float]) -> None:
+        self.trace_id = trace_id
+        self.clock = clock
+        self.root = Span(name, clock())
+        self._stack: List[Span] = [self.root]
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _OpenSpan:
+        """Open a child span of the innermost open span (a context manager)."""
+        span = Span(name, self.clock())
+        if attributes:
+            span.attributes.update(attributes)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return _OpenSpan(self, span)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Span:
+        """Attach an already-measured span under the innermost open span."""
+        span = Span(name, start)
+        span.duration = duration
+        if attributes:
+            span.attributes.update(attributes)
+        self._stack[-1].children.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.duration = self.clock() - span.start
+        # Close any deeper spans left open (defensive; the context-manager
+        # discipline normally keeps the stack aligned).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.duration is None:
+                dangling.duration = span.duration
+        if self._stack:
+            self._stack.pop()
+
+    def finish(self) -> "Trace":
+        """Close the root (and anything still open); idempotent."""
+        if self.root.duration is None:
+            now = self.clock()
+            while self._stack:
+                span = self._stack.pop()
+                if span.duration is None:
+                    span.duration = now - span.start
+        return self
+
+    # -- export ------------------------------------------------------------------
+
+    @property
+    def duration(self) -> Optional[float]:
+        return self.root.duration
+
+    def spans(self) -> List[Span]:
+        """Every span of the trace, pre-order."""
+        out: List[Span] = []
+
+        def walk(span: Span) -> None:
+            out.append(span)
+            for child in span.children:
+                walk(child)
+
+        walk(self.root)
+        return out
+
+    def find(self, name: str) -> Optional[Span]:
+        """The first span (pre-order) with the given name, or ``None``."""
+        for span in self.spans():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The whole trace as plain dicts (JSON-safe)."""
+        return {"trace_id": self.trace_id, "root": self.root.to_dict()}
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The trace in Chrome trace-event format (Perfetto-loadable).
+
+        Every span becomes one complete (``"ph": "X"``) event with
+        microsecond ``ts``/``dur`` relative to the trace root, all on one
+        ``pid``/``tid`` track — the viewer nests them by time.  Attributes
+        land in ``args``.
+        """
+        origin = self.root.start
+        events: List[Dict[str, Any]] = []
+        for span in self.spans():
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round((span.start - origin) * 1e6, 3),
+                    "dur": round((span.duration or 0.0) * 1e6, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(span.attributes),
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"trace_id": self.trace_id},
+        }
+
+
+class Tracer:
+    """Factory, sampler and retention ring for :class:`Trace` objects.
+
+    >>> from repro.obs import Tracer
+    >>> ticks = iter(range(100))
+    >>> tracer = Tracer(clock=lambda: float(next(ticks)))
+    >>> trace = tracer.start_trace("request")
+    >>> with trace.span("parse"):
+    ...     pass
+    >>> tracer.finish(trace)
+    >>> [span.name for span in tracer.recent()[0].spans()]
+    ['request', 'parse']
+
+    Sampling is **deterministic**: with ``sample_every=n`` exactly every
+    n-th ``start_trace`` call returns a trace (the first call always does),
+    so tests — and capacity planning — see a fixed fraction instead of a
+    coin flip.  ``enabled=False`` (or ``sample_every=0``) disables tracing
+    entirely: ``start_trace`` returns ``None`` without reading the clock,
+    which is the one-branch disabled path every span site relies on.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_every: int = 1,
+        clock: Callable[[], float] = time.perf_counter,
+        keep: int = 32,
+    ) -> None:
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0 (0 disables tracing)")
+        self.enabled = enabled and sample_every > 0
+        self.sample_every = sample_every
+        self.clock = clock
+        self._ids = itertools.count(1)
+        self._calls = itertools.count()
+        self._finished: "deque[Trace]" = deque(maxlen=max(1, keep))
+        self._lock = threading.Lock()
+
+    def start_trace(self, name: str, **attributes: Any) -> Optional[Trace]:
+        """A new :class:`Trace`, or ``None`` when disabled / not sampled."""
+        if not self.enabled:
+            return None
+        call = next(self._calls)
+        if call % self.sample_every:
+            return None
+        trace = Trace(f"t{next(self._ids):08x}", name, self.clock)
+        if attributes:
+            trace.root.attributes.update(attributes)
+        return trace
+
+    def finish(self, trace: Optional[Trace]) -> None:
+        """Close ``trace`` and retain it in the last-N ring (None is a no-op)."""
+        if trace is None:
+            return
+        trace.finish()
+        with self._lock:
+            self._finished.append(trace)
+
+    def recent(self, limit: Optional[int] = None) -> List[Trace]:
+        """The most recently finished traces, oldest first."""
+        with self._lock:
+            traces = list(self._finished)
+        if limit is not None and limit >= 0:
+            traces = traces[-limit:] if limit else []
+        return traces

@@ -83,6 +83,23 @@ class SearchStatistics:
         self.sweeps = exploration.sweeps
         self.context_upgrades = exploration.context_upgrades
 
+    def as_span_attributes(self) -> Dict[str, object]:
+        """The counters as flat attributes for a request trace's optimize span.
+
+        ``memo.tasks`` counts the rule-application tasks attempted — the
+        memo search's unit of work, the analogue of Cascades' task count.
+        """
+        return {
+            "memo.groups": self.groups,
+            "memo.expressions": self.expressions,
+            "memo.tasks": self.applications_attempted,
+            "memo.tasks_succeeded": self.applications_succeeded,
+            "memo.plans_considered": self.plans_considered,
+            "memo.sweeps": self.sweeps,
+            "memo.rule_firings": sum(self.rule_usage.values()),
+            "memo.truncated": self.truncated,
+        }
+
 
 @dataclass
 class SearchOptions:

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from ..core.relation import Relation
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..session.cache import PlanCache
 from ..session.session import Session
 from ..stratum.layer import TemporalDatabase
@@ -70,6 +72,12 @@ class Response:
     cache_hit: bool = False
     error: Optional[str] = None
     latency_seconds: float = 0.0
+    #: Per-phase seconds (``parse``/``optimize``/``execute``) of an ``ok``
+    #: query, so clients see the breakdown without a server-side lookup.
+    timings: Optional[dict] = None
+    #: The server-side trace id when the request was sampled — correlate
+    #: with the ``trace`` command of the TCP front end.
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -114,6 +122,9 @@ class Server:
         request_timeout: Optional[float] = None,
         cache_size: int = 512,
         plan_cache: Optional[PlanCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_query_seconds: Optional[float] = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be at least 1")
@@ -128,19 +139,76 @@ class Server:
         #: when it expires is answered ``timed_out`` without running.
         self.request_timeout = request_timeout
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
+        #: The serving counters live in a :class:`MetricsRegistry`, which is
+        #: the single source of truth: :meth:`stats` reads the same
+        #: instruments the Prometheus exposition renders, so the two can
+        #: never disagree.  The default is a *per-server* registry (tests
+        #: run many servers in one process); pass :data:`repro.obs.REGISTRY`
+        #: to publish process-wide instead.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Request tracing is off unless a tracer is injected; worker
+        #: sessions share it, so ``tracer.recent()`` (and the TCP ``trace``
+        #: command) sees requests from every worker.
+        self.tracer = tracer
+        self.slow_query_seconds = slow_query_seconds
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_limit or 0)
         self._workers: list[threading.Thread] = []
         self._latencies = LatencyRecorder()
         self._lock = threading.Lock()
         self._started = False
         self._closed = False
-        self._submitted = 0
-        self._completed = 0
-        self._rejected = 0
-        self._timed_out = 0
-        self._failed = 0
-        self._active = 0
-        self._peak_active = 0
+        registry = self.metrics
+        self._submitted = registry.counter(
+            "repro_server_requests_submitted_total",
+            "Requests entering admission (accepted or rejected).",
+        )
+        self._completed = registry.counter(
+            "repro_server_requests_completed_total", "Requests answered ok."
+        )
+        self._rejected = registry.counter(
+            "repro_server_requests_rejected_total",
+            "Requests rejected at admission (queue full).",
+        )
+        self._timed_out = registry.counter(
+            "repro_server_requests_timed_out_total",
+            "Requests whose deadline expired while queued.",
+        )
+        self._failed = registry.counter(
+            "repro_server_requests_failed_total", "Requests answered with an error."
+        )
+        self._active = registry.gauge(
+            "repro_server_active_workers", "Workers executing a request right now."
+        )
+        self._peak_active = registry.gauge(
+            "repro_server_peak_active_workers", "High-water mark of active workers."
+        )
+        registry.callback(
+            "repro_server_queue_depth",
+            "Requests waiting in the admission queue.",
+            self._queue.qsize,
+        )
+        registry.callback(
+            "repro_server_epoch",
+            "The live catalog's statistics epoch.",
+            self.database.statistics_epoch,
+        )
+        registry.callback(
+            "repro_plan_cache_hits_total",
+            "Shared plan-cache hits.",
+            lambda: self.plan_cache.info().hits,
+            kind="counter",
+        )
+        registry.callback(
+            "repro_plan_cache_misses_total",
+            "Shared plan-cache misses.",
+            lambda: self.plan_cache.info().misses,
+            kind="counter",
+        )
+        registry.callback(
+            "repro_plan_cache_size",
+            "Plans currently cached.",
+            lambda: self.plan_cache.info().size,
+        )
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -257,12 +325,11 @@ class Server:
                 raise ServerClosedError("server is closed")
             if not self._started:
                 raise ServerClosedError("server is not started (call start())")
-            self._submitted += 1
+            self._submitted.inc()
         try:
             self._queue.put_nowait(request)
         except queue.Full:
-            with self._lock:
-                self._rejected += 1
+            self._rejected.inc()
             raise ServerOverloadedError(
                 f"request queue is at its limit ({self.queue_limit}); retry later"
             ) from None
@@ -274,7 +341,13 @@ class Server:
         # One session per worker thread: sessions are cheap, the expensive
         # state (tables, statistics) lives in the shared database and the
         # optimized plans in the shared thread-safe cache.
-        session = Session(self.database, cache=self.plan_cache)
+        session = Session(
+            self.database,
+            cache=self.plan_cache,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            slow_query_seconds=self.slow_query_seconds,
+        )
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
@@ -284,8 +357,7 @@ class Server:
     def _process(self, session: Session, request: _Request) -> None:
         now = time.perf_counter()
         if request.deadline is not None and now > request.deadline:
-            with self._lock:
-                self._timed_out += 1
+            self._timed_out.inc()
             request.future.set_result(
                 Response(
                     status="timed_out",
@@ -296,19 +368,28 @@ class Server:
             )
             return
         with self._lock:
-            self._active += 1
-            self._peak_active = max(self._peak_active, self._active)
+            # The peak needs a read-modify-write over both gauges, so it
+            # stays under the server lock even though each gauge has its own.
+            self._active.inc()
+            self._peak_active.set(max(self._peak_active.value(), self._active.value()))
         try:
             if request.kind == "query":
                 result = session.execute(
                     request.statement, request.params, snapshot=request.snapshot
                 )
+                timings = result.timings
                 response = Response(
                     status="ok",
                     kind="query",
                     relation=result.relation,
                     epoch=result.epoch,
                     cache_hit=result.cache_hit,
+                    timings={
+                        "parse": timings.parse_seconds,
+                        "optimize": timings.plan_seconds,
+                        "execute": timings.execute_seconds,
+                    },
+                    trace_id=result.trace_id,
                 )
             else:
                 # append() reports the epoch atomically with the insert, so
@@ -323,35 +404,51 @@ class Server:
         except Exception as exc:  # one bad request must not kill the worker
             response = Response(status="error", kind=request.kind, error=str(exc))
         finally:
-            with self._lock:
-                self._active -= 1
+            self._active.dec()
         finished = time.perf_counter()
         response.latency_seconds = finished - request.admitted_at
-        with self._lock:
-            if response.status == "ok":
-                self._completed += 1
-            else:
-                self._failed += 1
+        if response.status == "ok":
+            self._completed.inc()
+        else:
+            self._failed.inc()
         self._latencies.record(response.latency_seconds)
         request.future.set_result(response)
 
     # -- introspection ------------------------------------------------------------
 
     def stats(self) -> ServerStats:
-        """A consistent snapshot of the serving counters and gauges."""
+        """A snapshot of the serving counters and gauges.
+
+        Reads the same :class:`~repro.obs.metrics.MetricsRegistry`
+        instruments the Prometheus exposition renders — the registry is the
+        single source of truth, ``ServerStats`` just a typed view of it.
+        """
         with self._lock:
             return ServerStats(
-                submitted=self._submitted,
-                completed=self._completed,
-                rejected=self._rejected,
-                timed_out=self._timed_out,
-                failed=self._failed,
+                submitted=int(self._submitted.value()),
+                completed=int(self._completed.value()),
+                rejected=int(self._rejected.value()),
+                timed_out=int(self._timed_out.value()),
+                failed=int(self._failed.value()),
                 queue_depth=self._queue.qsize(),
-                active_workers=self._active,
-                peak_active_workers=self._peak_active,
+                active_workers=int(self._active.value()),
+                peak_active_workers=int(self._peak_active.value()),
                 max_concurrency=self.max_concurrency,
                 queue_limit=self.queue_limit,
                 epoch=self.database.statistics_epoch(),
                 latency=self._latencies.summary(),
                 plan_cache=self.plan_cache.info(),
             )
+
+    def metrics_exposition(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self.metrics.exposition()
+
+    def recent_traces(self, limit: Optional[int] = None) -> list:
+        """The last-N finished request traces as structured dicts.
+
+        Empty unless the server was constructed with a tracer.
+        """
+        if self.tracer is None:
+            return []
+        return [trace.to_dict() for trace in self.tracer.recent(limit)]

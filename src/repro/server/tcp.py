@@ -16,6 +16,15 @@ carry an ``op``:
 ``{"op": "stats"}``
     The server's :class:`~repro.server.metrics.ServerStats` as JSON.
 
+``{"op": "metrics"}``
+    ``{"status": "ok", "exposition": "..."}`` — the server's metrics
+    registry in Prometheus text exposition format (one scrape).
+
+``{"op": "trace", "limit": 5}``
+    ``{"status": "ok", "traces": [...]}`` — the last-N finished request
+    traces as structured dicts (``limit`` optional; empty unless the
+    server runs with a tracer).
+
 ``{"op": "ping"}``
     ``{"status": "ok", "pong": true}`` — liveness only.
 
@@ -54,6 +63,10 @@ def response_to_wire(response: Response) -> Dict[str, Any]:
         payload["cache_hit"] = response.cache_hit
     if response.kind == "append":
         payload["rows_inserted"] = response.rows_inserted
+    if response.timings is not None:
+        payload["timings"] = dict(response.timings)
+    if response.trace_id is not None:
+        payload["trace_id"] = response.trace_id
     return payload
 
 
@@ -83,6 +96,10 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             return {"status": "ok", "pong": True}
         if op == "stats":
             return {"status": "ok", "stats": dataclasses.asdict(server.stats())}
+        if op == "metrics":
+            return {"status": "ok", "exposition": server.metrics_exposition()}
+        if op == "trace":
+            return {"status": "ok", "traces": server.recent_traces(message.get("limit"))}
         if op == "query":
             response = server.query(
                 message["statement"],
@@ -170,6 +187,17 @@ class TCPClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})
+
+    def metrics(self) -> Dict[str, Any]:
+        """One Prometheus-format scrape of the server's metrics registry."""
+        return self.request({"op": "metrics"})
+
+    def trace(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The last-N finished request traces as structured dicts."""
+        message: Dict[str, Any] = {"op": "trace"}
+        if limit is not None:
+            message["limit"] = limit
+        return self.request(message)
 
     def query(
         self,

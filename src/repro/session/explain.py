@@ -70,6 +70,11 @@ class OperatorLine:
     every stratum-side join shape carries one, and so does a DBMS-side
     σ-over-product pair the substrate fuses into its native hash join;
     ``None`` where the reference/fast-path implementation runs as-is."""
+    time_seconds: Optional[float] = None
+    """Inclusive wall-clock (children included) the operator took during the
+    ANALYZE execution; ``None`` — rendered ``-`` like the actuals — for
+    operators the executing engine never drained separately: a product
+    fused into a join, or the nodes inside an opaque DBMS fragment."""
 
     @property
     def depth(self) -> int:
@@ -100,6 +105,7 @@ class ExplainReport:
     dbms_calls: Optional[int] = None
     transferred_tuples: Optional[int] = None
     result_rows: Optional[int] = None
+    execute_seconds: Optional[float] = None
 
     @property
     def improvement_factor(self) -> float:
@@ -157,6 +163,8 @@ class ExplainReport:
                 execution.append(f"dbms calls={self.dbms_calls}")
             if self.transferred_tuples is not None:
                 execution.append(f"transferred tuples={self.transferred_tuples}")
+            if self.execute_seconds is not None:
+                execution.append(f"time={self.execute_seconds * 1e3:.3f}ms")
             if execution:
                 out.append("execution:  " + ", ".join(execution))
         return "\n".join(out)
@@ -183,15 +191,27 @@ class ExplainReport:
 
         walk(self.plan, ROOT_PATH, "", "", "")
         width = max(len(text) for text, _ in rows)
+        # Time columns appear only on ANALYZE runs that measured anything;
+        # percentages are of the root's inclusive wall-clock.
+        total = self.execute_seconds
+        show_times = self.analyze and any(line.time_seconds is not None for _, line in rows)
         rendered = []
         for text, line in rows:
             actual = "-" if line.actual_rows is None else str(line.actual_rows)
-            rendered.append(
+            row = (
                 f"{text.ljust(width)}  [{line.engine}]"
                 f"  est rows={line.estimated_rows:.1f}"
                 f"  actual={actual}"
                 f"  cost={line.cost:.1f}"
             )
+            if show_times:
+                if line.time_seconds is None:
+                    row += "  time=-"
+                else:
+                    row += f"  time={line.time_seconds * 1e3:.3f}ms"
+                    if total:
+                        row += f" ({min(100.0, 100.0 * line.time_seconds / total):.0f}%)"
+            rendered.append(row)
         return "\n".join(rendered)
 
     def __str__(self) -> str:
@@ -202,12 +222,18 @@ def build_operator_lines(
     plan: Operation,
     annotations: Mapping[PlanPath, OperatorCostAnnotation],
     actuals: Optional[Mapping[PlanPath, int]] = None,
+    timings: Optional[Mapping[PlanPath, PyTuple[float, float]]] = None,
 ) -> List[OperatorLine]:
-    """Assemble the plan-table rows from cost annotations and actual counts."""
+    """Assemble the plan-table rows from cost annotations, actuals and timings.
+
+    ``timings`` maps plan paths to ``(start, duration)`` pairs as recorded in
+    :attr:`~repro.stratum.executor.StratumExecutionReport.node_timings`.
+    """
     partition = partition_plan(plan)
     lines: List[OperatorLine] = []
     for path, node in plan.locations():
         annotation = annotations[path]
+        timing = None if timings is None else timings.get(path)
         lines.append(
             OperatorLine(
                 path=path,
@@ -217,6 +243,7 @@ def build_operator_lines(
                 cost=annotation.work,
                 actual_rows=None if actuals is None else actuals.get(path),
                 physical=annotation.physical,
+                time_seconds=None if timing is None else timing[1],
             )
         )
     return lines

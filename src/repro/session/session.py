@@ -38,6 +38,7 @@ from ..core.exceptions import ParameterError
 from ..core.operations import Operation
 from ..core.query import QueryResultSpec
 from ..core.relation import Relation
+from ..obs.slowlog import SlowQueryLog, build_slow_query_record
 from ..stratum.executor import StratumExecutionReport, StratumExecutor
 from ..stratum.layer import OptimizationOutcome, TemporalDatabase
 from ..stratum.partition import partition_plan
@@ -87,6 +88,9 @@ class SessionResult:
     timings: SessionTimings
     report: Optional[StratumExecutionReport] = None
     explain: Optional[ExplainReport] = None
+    #: The id of the request trace this execution recorded, when the
+    #: session's tracer sampled it — correlate with ``Tracer.recent()``.
+    trace_id: Optional[str] = None
 
 
 class Session:
@@ -113,6 +117,10 @@ class Session:
         database: Optional[TemporalDatabase] = None,
         cache_size: int = 128,
         cache: Optional[PlanCache] = None,
+        tracer=None,
+        metrics=None,
+        slow_query_seconds: Optional[float] = None,
+        slow_query_logger=None,
     ) -> None:
         self.database = database or TemporalDatabase()
         #: ``cache`` lets many sessions share one (thread-safe) plan cache —
@@ -120,6 +128,26 @@ class Session:
         #: cache here, so a statement optimized by any session is a cache
         #: hit for every other session at the same statistics epoch.
         self.cache = cache if cache is not None else PlanCache(cache_size)
+        #: Observability is opt-in and ``None``-gated: without a tracer /
+        #: registry / threshold, every instrumentation site below is a
+        #: single branch on the default path.
+        self.tracer = tracer
+        self.metrics = metrics
+        self.slow_query_log = SlowQueryLog(slow_query_seconds, logger=slow_query_logger)
+        if metrics is not None:
+            self._latency_histogram = metrics.histogram(
+                "repro_request_seconds",
+                "End-to-end statement latency by statement kind.",
+                labelnames=("kind",),
+            )
+            self._memo_tasks = metrics.counter(
+                "repro_memo_tasks_total",
+                "Memo-search rule-application tasks attempted (plan-cache misses only).",
+            )
+            self._operator_rows = metrics.counter(
+                "repro_operator_rows_total",
+                "Rows produced by plan operators the stratum executed.",
+            )
 
     # -- the lifecycle ------------------------------------------------------------
 
@@ -141,17 +169,29 @@ class Session:
         serial answer at that epoch even while concurrent appends advance
         the live catalog.
         """
+        tracer = self.tracer
+        trace = None if tracer is None else tracer.start_trace("request", statement=statement)
         started = time.perf_counter()
-        ast = parse_statement(statement)
+        if trace is None:
+            ast = parse_statement(statement)
+        else:
+            with trace.span("parse"):
+                ast = parse_statement(statement)
         parse_seconds = time.perf_counter() - started
         if ast.explain:
-            entry, hit, plan_seconds = self._plan(ast)
+            entry, hit, plan_seconds = self._plan_traced(ast, None, trace)
             explain_started = time.perf_counter()
-            report = self._explain_entry(
-                entry, hit, params, analyze=ast.analyze, text=statement
-            )
+            if trace is None:
+                report = self._explain_entry(
+                    entry, hit, params, analyze=ast.analyze, text=statement
+                )
+            else:
+                with trace.span("explain", analyze=ast.analyze):
+                    report = self._explain_entry(
+                        entry, hit, params, analyze=ast.analyze, text=statement
+                    )
             explain_seconds = time.perf_counter() - explain_started
-            return SessionResult(
+            result = SessionResult(
                 statement=statement,
                 relation=None,
                 query_spec=entry.query_spec,
@@ -163,16 +203,34 @@ class Session:
                 parameters=tuple(params),
                 timings=SessionTimings(parse_seconds, plan_seconds, explain_seconds),
                 explain=report,
+                trace_id=None if trace is None else trace.trace_id,
             )
-        entry, hit, plan_seconds = self._plan(ast, snapshot)
-        bound = self._bind(entry, params)
+            self._finish_request(ast, result, trace)
+            return result
+        entry, hit, plan_seconds = self._plan_traced(ast, snapshot, trace)
+        if trace is None:
+            bound = self._bind(entry, params)
+        else:
+            with trace.span("bind", parameters=len(params)):
+                bound = self._bind(entry, params)
         executor = StratumExecutor(
-            snapshot.dbms if snapshot is not None else self.database.dbms
+            snapshot.dbms if snapshot is not None else self.database.dbms,
+            clock=None if trace is None else tracer.clock,
         )
         execute_started = time.perf_counter()
-        relation = executor.execute(bound)
+        if trace is None:
+            relation = executor.execute(bound)
+        else:
+            with trace.span("execute") as span:
+                relation = executor.execute(bound)
+                span.set(
+                    rows=len(relation),
+                    dbms_calls=executor.report.dbms_calls,
+                    transferred_tuples=executor.report.transferred_tuples,
+                )
+                self._record_operator_spans(trace, bound, executor.report)
         execute_seconds = time.perf_counter() - execute_started
-        return SessionResult(
+        result = SessionResult(
             statement=statement,
             relation=relation,
             query_spec=entry.query_spec,
@@ -184,7 +242,10 @@ class Session:
             parameters=tuple(params),
             timings=SessionTimings(parse_seconds, plan_seconds, execute_seconds),
             report=executor.report,
+            trace_id=None if trace is None else trace.trace_id,
         )
+        self._finish_request(ast, result, trace)
+        return result
 
     def query(self, statement: str, params: Sequence[object] = ()):
         """Execute and return the result relation (or, for EXPLAIN, the text)."""
@@ -217,6 +278,77 @@ class Session:
         return self.cache.info()
 
     # -- internals ----------------------------------------------------------------
+
+    def _plan_traced(self, ast: Statement, snapshot, trace) -> "PyTuple[CachedPlan, bool, float]":
+        """Plan, recording the optimize span (cache outcome + memo counters)."""
+        if trace is None:
+            return self._plan(ast, snapshot)
+        with trace.span("optimize") as span:
+            entry, hit, plan_seconds = self._plan(ast, snapshot)
+            attributes = {
+                "cache_hit": hit,
+                "fingerprint": entry.key.fingerprint,
+                "epoch": entry.key.epoch,
+            }
+            search = entry.optimization.search
+            if search is not None:
+                attributes.update(search.statistics.as_span_attributes())
+            span.set(**attributes)
+        return entry, hit, plan_seconds
+
+    @staticmethod
+    def _record_operator_spans(trace, plan: Operation, report: StratumExecutionReport) -> None:
+        """Attach per-operator child spans under the open execute span.
+
+        Timings are inclusive (a node's interval covers its children), so
+        the Chrome-trace view nests them by time; row counts are the same
+        per-path actuals EXPLAIN ANALYZE reports.
+        """
+        labels = {path: node.label() for path, node in plan.locations()}
+        for path in sorted(report.node_timings):
+            start, duration = report.node_timings[path]
+            trace.record(
+                labels.get(path, "operator"),
+                start,
+                duration,
+                {"path": list(path), "rows": report.node_rows.get(path)},
+            )
+        for span in report.dbms_operator_spans:
+            trace.record(
+                span.operator,
+                span.start,
+                span.duration,
+                {"rows": span.rows, "engine": "dbms"},
+            )
+
+    def _finish_request(self, ast: Statement, result: SessionResult, trace) -> None:
+        """Post-request observability: finish the trace, count, slow-log."""
+        if self.tracer is not None:
+            self.tracer.finish(trace)
+        if self.metrics is not None:
+            self._latency_histogram.labels(kind=ast.kind).observe(
+                result.timings.total_seconds
+            )
+            if not result.cache_hit:
+                search = result.optimization.search
+                if search is not None:
+                    self._memo_tasks.inc(search.statistics.applications_attempted)
+            if result.report is not None:
+                self._operator_rows.inc(sum(result.report.node_rows.values()))
+        if self.slow_query_log.should_log(result.timings.total_seconds):
+            # The costing pass is paid only here, after the threshold has
+            # already been crossed — never on the fast path.
+            annotations = None
+            if result.report is not None:
+                database = self.database
+                estimator = database.estimator() if database.use_statistics else None
+                annotations = cost_annotations(
+                    result.plan,
+                    database.statistics(),
+                    database.optimizer.cost_model,
+                    estimator=estimator,
+                )
+            self.slow_query_log.emit(build_slow_query_record(result, annotations))
 
     def _plan(self, ast: Statement, snapshot=None) -> "PyTuple[CachedPlan, bool, float]":
         started = time.perf_counter()
@@ -286,11 +418,20 @@ class Session:
         actuals = None
         report = None
         result_rows = None
+        timings = None
+        execute_seconds = None
         if analyze:
-            executor = StratumExecutor(database.dbms)
+            # ANALYZE always times: per-operator wall-clock is the point of
+            # executing the plan at all.  The session's tracer clock (when
+            # present) keeps tests deterministic.
+            clock = self.tracer.clock if self.tracer is not None else time.perf_counter
+            executor = StratumExecutor(database.dbms, clock=clock)
             relation = executor.execute(bound)
             report = executor.report
             result_rows = len(relation)
+            timings = report.node_timings
+            root_timing = timings.get(())
+            execute_seconds = None if root_timing is None else root_timing[1]
             # The executor already counted every node it evaluated itself; a
             # reference walk breaks out only the operators inside DBMS
             # fragments, which the substrate executed as one opaque call.
@@ -316,7 +457,7 @@ class Session:
             analyze=analyze,
             query_spec=entry.query_spec,
             plan=bound,
-            lines=build_operator_lines(bound, annotations, actuals),
+            lines=build_operator_lines(bound, annotations, actuals, timings),
             estimated_cost=optimization.chosen_cost.total,
             initial_cost=optimization.initial_cost.total,
             plans_considered=optimization.plans_considered,
@@ -328,6 +469,7 @@ class Session:
             dbms_calls=None if report is None else report.dbms_calls,
             transferred_tuples=None if report is None else report.transferred_tuples,
             result_rows=result_rows,
+            execute_seconds=execute_seconds,
         )
 
     def _schemas(self):

@@ -16,7 +16,7 @@ Execution is recursive over the plan:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from ..core.operations.base import PlanPath, ROOT_PATH
 
@@ -36,6 +36,7 @@ from ..core.operations import (
 from ..core.operations.base import EvaluationContext
 from ..core.relation import Relation
 from ..dbms.engine import ConventionalDBMS
+from ..dbms.executor import OperatorSpan
 from .physical import is_pipelined, lower_plan
 from .temporal_exec import (
     coalesce_fast,
@@ -60,14 +61,31 @@ class StratumExecutionReport:
     #: fragment's total lands on the enclosing ``TS`` path); EXPLAIN ANALYZE
     #: fills those in with a reference walk.
     node_rows: Dict[PlanPath, int] = field(default_factory=dict)
+    #: Per-node ``(start, duration)`` wall-clock, keyed like ``node_rows``;
+    #: only filled when the executor runs with a clock (observability on).
+    #: Durations are *inclusive* — a node's interval covers its children.
+    node_timings: Dict[PlanPath, PyTuple[float, float]] = field(default_factory=dict)
+    #: Timed physical-operator drains inside DBMS fragments, in call order;
+    #: only filled when the executor runs with a clock.
+    dbms_operator_spans: List[OperatorSpan] = field(default_factory=list)
 
 
 class StratumExecutor:
     """Execute logical plans across the stratum and the conventional DBMS."""
 
-    def __init__(self, dbms: ConventionalDBMS, optimize_dbms_fragments: bool = True) -> None:
+    def __init__(
+        self,
+        dbms: ConventionalDBMS,
+        optimize_dbms_fragments: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self._dbms = dbms
         self._optimize_dbms_fragments = optimize_dbms_fragments
+        #: With a ``clock`` (a monotonic callable; observability on) the
+        #: report also carries per-node wall-clock intervals and the timed
+        #: operator drains inside DBMS fragments.  Without one — the
+        #: default — every timing site is a single predictable branch.
+        self._clock = clock
         self.report = StratumExecutionReport()
 
     def execute(self, plan: Operation) -> Relation:
@@ -78,7 +96,13 @@ class StratumExecutor:
     # -- stratum side ------------------------------------------------------------
 
     def _execute_stratum(self, node: Operation, path: PlanPath = ROOT_PATH) -> Relation:
+        if self._clock is None:
+            result = self._evaluate_stratum(node, path)
+            self.report.node_rows[path] = len(result)
+            return result
+        started = self._clock()
         result = self._evaluate_stratum(node, path)
+        self.report.node_timings[path] = (started, self._clock() - started)
         self.report.node_rows[path] = len(result)
         return result
 
@@ -118,6 +142,9 @@ class StratumExecutor:
         product fused into a join never materialises and reports no count.
         """
         root = lower_plan(node, path, self._execute_stratum)
+        if self._clock is not None:
+            for operator in root.operators():
+                operator._timer = self._clock
         relation = root.to_relation()
         for operator in root.operators():
             if not operator.paths:
@@ -125,6 +152,11 @@ class StratumExecutor:
             self.report.stratum_operations += len(operator.paths)
             if operator.rows_out is not None:
                 self.report.node_rows[operator.paths[0]] = operator.rows_out
+            if operator.elapsed_seconds is not None:
+                self.report.node_timings[operator.paths[0]] = (
+                    operator.started_at,
+                    operator.elapsed_seconds,
+                )
         return relation
 
     def _apply(self, node: Operation, child_results: Sequence[Relation]) -> Relation:
@@ -148,7 +180,10 @@ class StratumExecutor:
     def _execute_in_dbms(self, fragment: Operation, path: PlanPath = ROOT_PATH) -> Relation:
         prepared = self._materialize_stratum_islands(fragment, path)
         self.report.dbms_calls += 1
-        result = self._dbms.execute(prepared, optimize=self._optimize_dbms_fragments)
+        result = self._dbms.execute(
+            prepared, optimize=self._optimize_dbms_fragments, clock=self._clock
+        )
+        self.report.dbms_operator_spans.extend(result.report.operator_spans)
         self.report.dbms_emulated_operations.extend(result.report.emulated_operations)
         self.report.transferred_tuples += len(result.relation)
         return result.relation

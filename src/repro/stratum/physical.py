@@ -123,6 +123,13 @@ class StratumOperator:
     output the operator produces, and ``rows_out`` — filled once the
     operator has been drained — is that node's actual output cardinality,
     which the executor reports for EXPLAIN ANALYZE.
+
+    When the executor runs under observability it assigns ``_timer`` (a
+    monotonic clock callable) before draining; the operator then also
+    records ``started_at``/``elapsed_seconds`` — *inclusive* wall-clock
+    from first pull to exhaustion, children included, the same convention
+    EXPLAIN ANALYZE timings use elsewhere.  The untimed path is the
+    default and costs exactly one extra branch per drain.
     """
 
     def __init__(
@@ -135,13 +142,26 @@ class StratumOperator:
         self.order = order
         self.paths = paths
         self.rows_out: Optional[int] = None
+        self._timer: Optional[Callable[[], float]] = None
+        self.started_at: Optional[float] = None
+        self.elapsed_seconds: Optional[float] = None
 
     def __iter__(self) -> Iterator[Tuple]:
+        if self._timer is None:
+            count = 0
+            for tup in self._iterate():
+                count += 1
+                yield tup
+            self.rows_out = count
+            return
+        clock = self._timer
+        self.started_at = clock()
         count = 0
         for tup in self._iterate():
             count += 1
             yield tup
         self.rows_out = count
+        self.elapsed_seconds = clock() - self.started_at
 
     def _iterate(self) -> Iterator[Tuple]:
         raise NotImplementedError

@@ -108,6 +108,22 @@ class Statement:
         return self.first.distinct
 
     @property
+    def kind(self) -> str:
+        """A coarse shape label (``explain``/``compound``/``aggregate``/``select``).
+
+        Deliberately low-cardinality — it labels per-statement-kind metric
+        series (latency histograms), not individual statements, which the
+        fingerprint already identifies.
+        """
+        if self.explain:
+            return "explain"
+        if self.combined:
+            return "compound"
+        if self.first.has_aggregation:
+            return "aggregate"
+        return "select"
+
+    @property
     def blocks(self) -> List[SelectBlock]:
         """All select blocks, left to right."""
         return [self.first] + [block for _, block in self.combined]

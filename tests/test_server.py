@@ -21,6 +21,7 @@ from repro.server import (
     TCPClient,
     TCPFrontend,
 )
+from repro.obs import Tracer
 from repro.server.metrics import LatencyRecorder, percentile
 from repro.session import Session
 from repro.session.cache import PlanCache
@@ -332,3 +333,64 @@ class TestTCPFrontend:
                         client.close()
             info = server.plan_cache.info()
             assert info.misses == 1 and info.hits == 3
+
+
+class TestObservabilityIntegration:
+    def test_response_carries_timings_and_exposition_matches_stats(self):
+        with make_server(max_concurrency=2, tracer=Tracer()) as server:
+            with TCPFrontend(server) as frontend:
+                host, port = frontend.address
+                with TCPClient(host, port) as client:
+                    first = client.query(PAPER_SQL)
+                    second = client.query(PAPER_SQL)
+                    for reply in (first, second):
+                        assert reply["status"] == "ok"
+                        assert set(reply["timings"]) == {"parse", "optimize", "execute"}
+                        assert all(v >= 0.0 for v in reply["timings"].values())
+                        assert reply["trace_id"]
+                    assert first["trace_id"] != second["trace_id"]
+
+                    stats = server.stats()
+                    lines = client.metrics()["exposition"].splitlines()
+                    assert (
+                        f"repro_server_requests_completed_total {stats.completed}"
+                        in lines
+                    )
+                    assert (
+                        f"repro_plan_cache_hits_total {stats.plan_cache.hits}" in lines
+                    )
+                    assert (
+                        f"repro_plan_cache_misses_total {stats.plan_cache.misses}"
+                        in lines
+                    )
+                    assert "repro_server_queue_depth 0" in lines
+                    assert f"repro_server_epoch {stats.epoch}" in lines
+                    # Per-kind request latency histograms come from the
+                    # worker sessions sharing the server's registry.
+                    assert any(
+                        line.startswith('repro_request_seconds_count{kind="compound"}')
+                        for line in lines
+                    )
+
+                    traces = client.trace(limit=5)["traces"]
+                    assert {t["trace_id"] for t in traces} == {
+                        first["trace_id"],
+                        second["trace_id"],
+                    }
+                    newest = traces[-1]
+                    child_names = [c["name"] for c in newest["root"]["children"]]
+                    assert child_names[:4] == ["parse", "optimize", "bind", "execute"]
+
+    def test_untraced_server_still_serves_metrics(self):
+        with make_server() as server:
+            with TCPFrontend(server) as frontend:
+                host, port = frontend.address
+                with TCPClient(host, port) as client:
+                    reply = client.query(PAPER_SQL)
+                    assert reply["status"] == "ok"
+                    assert "trace_id" not in reply
+                    assert set(reply["timings"]) == {"parse", "optimize", "execute"}
+                    assert client.trace()["traces"] == []
+                    assert "repro_server_requests_completed_total 1" in (
+                        client.metrics()["exposition"].splitlines()
+                    )
