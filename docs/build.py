@@ -45,6 +45,8 @@ API_SURFACE = {
     "server": "repro.server.server.Server",
     "tracer": "repro.obs.trace.Tracer",
     "metricsregistry": "repro.obs.metrics.MetricsRegistry",
+    "faultregistry": "repro.faults.registry.FaultRegistry",
+    "cancellationtoken": "repro.faults.control.CancellationToken",
 }
 
 _PAGE_TEMPLATE = """<!DOCTYPE html>

@@ -50,6 +50,12 @@ coalescing.  This package implements that foundation end to end:
     registry with Prometheus text exposition, and a slow-query log
     carrying per-operator estimate-vs-actual q-errors.
 
+``repro.faults``
+    fault tolerance: named, deterministic fault-injection points on every
+    hot path (one attribute read when disarmed), cooperative cancellation
+    tokens and deadlines checked inside both engines' pull loops, and
+    per-request row/byte resource guards.
+
 ``repro.workloads``
     the paper's example relations and scalable synthetic temporal workloads
     used by the examples, tests and benchmarks.

@@ -41,15 +41,22 @@ from .equivalence import (
     strongest_equivalence,
 )
 from .exceptions import (
+    RETRYABLE_CODES,
     AlgebraError,
+    CancelledError,
+    DataCorruptionError,
+    DeadlineExceededError,
     EngineError,
     EnumerationError,
+    InjectedFaultError,
     ParseError,
     PeriodError,
     ReproError,
+    ResourceExhaustedError,
     RuleError,
     SchemaError,
     TemporalSchemaError,
+    error_code,
 )
 from .expressions import (
     AggregateFunction,
@@ -195,13 +202,20 @@ __all__ = [
     "estimate_cost",
     "rules_by_name",
     # exceptions
+    "RETRYABLE_CODES",
     "AlgebraError",
+    "CancelledError",
+    "DataCorruptionError",
+    "DeadlineExceededError",
     "EngineError",
     "EnumerationError",
+    "InjectedFaultError",
     "ParseError",
     "PeriodError",
     "ReproError",
+    "ResourceExhaustedError",
     "RuleError",
     "SchemaError",
     "TemporalSchemaError",
+    "error_code",
 ] + list(_operations_all)

@@ -36,6 +36,7 @@ from ..core.order_spec import OrderSpec
 from ..core.relation import Relation
 from ..core.schema import RelationSchema
 from ..core.tuples import Tuple
+from ..faults import FAULTS
 from ..stats.estimator import CardinalityEstimator, TableProfile
 from ..stats.histograms import EquiDepthHistogram, PeriodHistogram
 
@@ -320,7 +321,16 @@ class Catalog:
         own append moved the catalog to — the property the serving layer's
         lost-update and snapshot-differential checks are built on (a bare
         ``table(name).insert(...)`` followed by an epoch read would race).
+
+        The ``catalog.append`` fault point lives here.  Its ``corrupt``
+        kind rewrites one incoming value to an out-of-domain sentinel and
+        lets :meth:`Table.insert`'s *existing* schema validation catch it:
+        the whole batch is tuple-validated before any mutation, so a
+        detected corruption rejects the append atomically — no partial
+        batch, no epoch advance, nothing for a reader to tear.
         """
+        if FAULTS.active:
+            rows = FAULTS.corrupt_rows("catalog.append", [list(row) for row in rows])
         with self._lock:
             inserted = self.table(name).insert(rows)
             return inserted, self.epoch

@@ -96,15 +96,20 @@ class ConventionalDBMS:
         """Run the DBMS's own optimizer over a logical plan fragment."""
         return self._optimizer.optimize(plan)
 
-    def execute(self, plan: Operation, optimize: bool = True, clock=None) -> DBMSResult:
+    def execute(
+        self, plan: Operation, optimize: bool = True, clock=None, control=None
+    ) -> DBMSResult:
         """Optimize (optionally) and execute a logical plan fragment.
 
         ``clock`` (a monotonic callable) turns on per-operator timing: the
         report's ``operator_spans`` then carry each physical operator's
         rows and wall-clock for EXPLAIN ANALYZE and request traces.
+        ``control`` (an :class:`~repro.faults.control.ExecutionControl`)
+        threads cancellation, deadlines, resource budgets and fault
+        injection into the physical operators' pull loops.
         """
         final_plan = self.optimize(plan) if optimize else plan
-        planner = PhysicalPlanner(self.catalog, clock=clock)
+        planner = PhysicalPlanner(self.catalog, clock=clock, control=control)
         relation = planner.execute(final_plan)
         return DBMSResult(relation=relation, report=planner.report, optimized_plan=final_plan)
 
@@ -173,10 +178,12 @@ class SnapshotDBMS:
         """Optimize a fragment against the pinned statistics."""
         return self._optimizer.optimize(plan)
 
-    def execute(self, plan: Operation, optimize: bool = True, clock=None) -> DBMSResult:
+    def execute(
+        self, plan: Operation, optimize: bool = True, clock=None, control=None
+    ) -> DBMSResult:
         """Optimize (optionally) and execute a fragment over the pinned data."""
         final_plan = self.optimize(plan) if optimize else plan
-        planner = PhysicalPlanner(self.catalog, clock=clock)
+        planner = PhysicalPlanner(self.catalog, clock=clock, control=control)
         relation = planner.execute(final_plan)
         return DBMSResult(relation=relation, report=planner.report, optimized_plan=final_plan)
 

@@ -166,12 +166,22 @@ class PhysicalPlanner:
     constructed operator gets a timer before any draining happens — which
     matters for emulated temporal fragments, whose children are drained
     *during* compilation — and :meth:`execute` fills
-    :attr:`ExecutionReport.operator_spans` afterwards.
+    :attr:`ExecutionReport.operator_spans` afterwards.  A ``control``
+    (:class:`~repro.faults.control.ExecutionControl`) is attached the same
+    way and for the same reason: the pull loops then tick the ``dbms.scan``
+    point, so cancellation, budgets and fault injection reach even the
+    fragments that drain mid-compilation.
     """
 
-    def __init__(self, catalog: Catalog, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        clock: Optional[Callable[[], float]] = None,
+        control=None,
+    ) -> None:
         self._catalog = catalog
         self._clock = clock
+        self._control = control
         self._timed_operators: List[PhysicalOperator] = []
         self.report = ExecutionReport()
 
@@ -205,11 +215,14 @@ class PhysicalPlanner:
     # -- compilation ------------------------------------------------------------
 
     def _plan(self, node: Operation) -> PhysicalOperator:
-        if self._clock is None:
+        if self._clock is None and self._control is None:
             return self._compile(node)
         operator = self._compile(node)
-        operator._timer = self._clock
-        self._timed_operators.append(operator)
+        if self._control is not None:
+            operator._control = self._control
+        if self._clock is not None:
+            operator._timer = self._clock
+            self._timed_operators.append(operator)
         return operator
 
     def _compile(self, node: Operation) -> PhysicalOperator:

@@ -24,37 +24,59 @@ class PhysicalOperator:
     """Base class: an iterable of tuples with a known output schema.
 
     Subclasses implement :meth:`_iterate`; iteration dispatches through the
-    base so observability can interpose.  Untimed (the default), ``__iter__``
-    returns the subclass iterator directly — one branch, no wrapper, no
-    per-tuple cost.  When the executor assigns ``_timer`` (a monotonic clock
-    callable) the drain also counts rows and records
-    ``started_at``/``elapsed_seconds`` — inclusive wall-clock from first
-    pull to exhaustion, children included — for EXPLAIN ANALYZE and traces.
+    base so observability and execution control can interpose.  Plain (the
+    default), ``__iter__`` returns the subclass iterator directly — two
+    branches, no wrapper, no per-tuple cost.  When the executor assigns
+    ``_timer`` (a monotonic clock callable) the drain also counts rows and
+    records ``started_at``/``elapsed_seconds`` — inclusive wall-clock from
+    first pull to exhaustion, children included — for EXPLAIN ANALYZE and
+    traces.  When it assigns ``_control`` (an
+    :class:`~repro.faults.control.ExecutionControl`) the drain ticks it at
+    the ``dbms.scan`` fault point: once at drain start and every
+    ``control.interval`` tuples — the hook cancellation, deadlines,
+    resource budgets and fault injection all ride on.
     """
+
+    #: The fault point this layer's pull loops tick (see :mod:`repro.faults`).
+    FAULT_POINT = "dbms.scan"
 
     def __init__(self, output_schema: RelationSchema) -> None:
         self.output_schema = output_schema
         self._timer: Optional[Callable[[], float]] = None
+        self._control = None
         self.rows_out: Optional[int] = None
         self.started_at: Optional[float] = None
         self.elapsed_seconds: Optional[float] = None
 
     def __iter__(self) -> Iterator[Tuple]:
-        if self._timer is None:
+        if self._timer is None and self._control is None:
             return self._iterate()
-        return self._timed_iterate(self._timer)
+        return self._instrumented_iterate()
 
     def _iterate(self) -> Iterator[Tuple]:
         raise NotImplementedError
 
-    def _timed_iterate(self, clock: Callable[[], float]) -> Iterator[Tuple]:
-        self.started_at = clock()
+    def _instrumented_iterate(self) -> Iterator[Tuple]:
+        clock = self._timer
+        control = self._control
+        if clock is not None:
+            self.started_at = clock()
         count = 0
-        for tup in self._iterate():
-            count += 1
-            yield tup
+        if control is None:
+            for tup in self._iterate():
+                count += 1
+                yield tup
+        else:
+            control.tick(self.FAULT_POINT)
+            interval = control.interval
+            for tup in self._iterate():
+                count += 1
+                if not count % interval:
+                    control.tick(self.FAULT_POINT)
+                yield tup
         self.rows_out = count
-        self.elapsed_seconds = clock() - self.started_at
+        if clock is not None:
+            self.elapsed_seconds = clock() - self.started_at
 
     def operators(self) -> Iterator["PhysicalOperator"]:
         """This operator and all descendants, pre-order."""

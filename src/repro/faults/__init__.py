@@ -1,0 +1,36 @@
+"""Fault injection and cooperative execution control for the serving stack.
+
+Two halves, one package:
+
+* :mod:`repro.faults.registry` — the process-wide :data:`FAULTS` registry
+  of named, deterministic, seeded injection points every layer consults
+  (``tsql.parse`` … ``server.tcp``), armed per test and compiled down to a
+  single attribute read when disabled;
+* :mod:`repro.faults.control` — :class:`CancellationToken` (deadlines and
+  explicit cancel), :class:`ResourceGuard` (row / byte budgets) and
+  :class:`ExecutionControl` (the bundle the executors thread through their
+  pull loops, checked every N tuples).
+
+The package sits next to :mod:`repro.core` and depends only on it, so every
+other layer — parser, search, both engines, session, server — can import it
+without cycles.
+"""
+
+from .control import (
+    DEFAULT_CHECK_INTERVAL,
+    CancellationToken,
+    ExecutionControl,
+    ResourceGuard,
+)
+from .registry import FAULT_POINTS, FAULTS, FaultRegistry, FaultSpec
+
+__all__ = [
+    "DEFAULT_CHECK_INTERVAL",
+    "FAULT_POINTS",
+    "FAULTS",
+    "CancellationToken",
+    "ExecutionControl",
+    "FaultRegistry",
+    "FaultSpec",
+    "ResourceGuard",
+]

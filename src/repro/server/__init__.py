@@ -19,26 +19,35 @@ users; this package supplies the reproduction's serving layer on top of the
   so overload produces backpressure instead of unbounded growth;
 * **metrics** — per-request latency percentiles, queue depth, active
   workers and plan-cache counters as one :class:`ServerStats` snapshot;
+* **fault tolerance** — in-flight deadlines and :meth:`Server.cancel`
+  (cooperative, answering ``timed_out``/``cancelled``), per-request
+  resource budgets, worker-crash containment, and a
+  :class:`~repro.server.tcp.RetryPolicy`-driven client that backs off on
+  ``OVERLOADED``/``UNAVAILABLE`` — see ``docs/robustness.md``;
 * :class:`TCPFrontend`/:class:`TCPClient` — an optional newline-delimited
-  JSON protocol over TCP (stdlib ``socketserver``) for remote clients.
+  JSON protocol over TCP (stdlib ``socketserver``) for remote clients,
+  with bounded request lines and a ``cancel`` op.
 
 See ``docs/server.md`` for the architecture and the knobs.
 """
 
 from .metrics import LatencyRecorder, LatencySummary, ServerStats
 from .server import (
+    RequestFuture,
     Response,
     Server,
     ServerClosedError,
     ServerError,
     ServerOverloadedError,
 )
-from .tcp import TCPClient, TCPFrontend
+from .tcp import RetryPolicy, TCPClient, TCPFrontend
 
 __all__ = [
     "LatencyRecorder",
     "LatencySummary",
+    "RequestFuture",
     "Response",
+    "RetryPolicy",
     "Server",
     "ServerClosedError",
     "ServerError",

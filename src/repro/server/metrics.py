@@ -83,11 +83,14 @@ class ServerStats:
 
     ``submitted`` counts every admission attempt, including the
     ``rejected`` ones that never entered the queue; ``completed`` +
-    ``timed_out`` + ``failed`` + ``rejected`` + the requests still queued
-    or running account for all of them.  ``latency`` covers completed
-    requests end to end (admission to response).  ``plan_cache`` is the
-    shared cache's counter snapshot — its ``hit_rate`` across *all*
-    sessions is the number the shared cache exists for.
+    ``timed_out`` + ``cancelled`` + ``failed`` + ``rejected`` + the
+    requests still queued or running account for all of them.  ``latency``
+    covers completed requests end to end (admission to response).
+    ``plan_cache`` is the shared cache's counter snapshot — its
+    ``hit_rate`` across *all* sessions is the number the shared cache
+    exists for.  ``worker_crashes`` counts workers lost to an escaped
+    ``BaseException`` (each one answered its request and died; the rest of
+    the pool keeps serving).
     """
 
     submitted: int
@@ -103,3 +106,5 @@ class ServerStats:
     epoch: int
     latency: LatencySummary
     plan_cache: PlanCacheInfo
+    cancelled: int = 0
+    worker_crashes: int = 0

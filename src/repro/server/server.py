@@ -25,14 +25,22 @@ moved the catalog to, which is what makes lost-update checks possible.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
+from ..core.exceptions import (
+    CancelledError,
+    DeadlineExceededError,
+    ReproError,
+    error_code,
+)
 from ..core.relation import Relation
+from ..faults import FAULTS, CancellationToken, ResourceGuard
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from ..session.cache import PlanCache
@@ -41,27 +49,44 @@ from ..stratum.layer import TemporalDatabase
 from .metrics import LatencyRecorder, ServerStats
 
 
-class ServerError(Exception):
+class ServerError(ReproError):
     """Base class of the serving layer's errors."""
+
+    code = "SERVER_ERROR"
 
 
 class ServerOverloadedError(ServerError):
-    """Admission rejected: the request queue is at its limit."""
+    """Admission rejected: the request queue is at its limit.
+
+    Carries the ``OVERLOADED`` code — retryable: backing off and trying
+    again is exactly what backpressure asks of the client.
+    """
+
+    code = "OVERLOADED"
 
 
 class ServerClosedError(ServerError):
-    """The server is closed and accepts no new requests."""
+    """The server is closed and accepts no new requests.
+
+    Carries ``UNAVAILABLE`` — retryable against a replacement server.
+    """
+
+    code = "UNAVAILABLE"
 
 
 @dataclass
 class Response:
     """The outcome of one request, whatever that outcome was.
 
-    ``status`` is ``"ok"``, ``"error"`` or ``"timed_out"``; rejected
-    requests never produce a response (admission raises instead).  For an
-    ``ok`` query ``relation`` holds the rows and ``epoch`` the statistics
-    epoch the query was admitted (snapshotted) at; for an ``ok`` append
-    ``rows_inserted`` and the epoch *after* the append are set.
+    ``status`` is ``"ok"``, ``"error"``, ``"timed_out"`` or
+    ``"cancelled"``; rejected requests never produce a response (admission
+    raises instead).  For an ``ok`` query ``relation`` holds the rows and
+    ``epoch`` the statistics epoch the query was admitted (snapshotted)
+    at; for an ``ok`` append ``rows_inserted`` and the epoch *after* the
+    append are set.  Every non-``ok`` response carries the stable error
+    ``code`` next to the human-readable ``error`` text — clients branch on
+    the code (see :data:`~repro.core.exceptions.RETRYABLE_CODES`), never
+    on the text.
     """
 
     status: str
@@ -71,7 +96,11 @@ class Response:
     epoch: int = -1
     cache_hit: bool = False
     error: Optional[str] = None
+    #: Stable error code of a non-``ok`` response (``None`` when ok).
+    code: Optional[str] = None
     latency_seconds: float = 0.0
+    #: The server-assigned id of the request (pass to :meth:`Server.cancel`).
+    request_id: int = 0
     #: Per-phase seconds (``parse``/``optimize``/``execute``) of an ``ok``
     #: query, so clients see the breakdown without a server-side lookup.
     timings: Optional[dict] = None
@@ -90,11 +119,26 @@ class _Request:
     future: "Future[Response]"
     admitted_at: float
     deadline: Optional[float]
+    request_id: int = 0
+    token: Optional[CancellationToken] = None
     statement: str = ""
     params: Sequence[object] = ()
     snapshot: object = None
     table: str = ""
     rows: Sequence[Sequence[object]] = field(default_factory=tuple)
+
+
+class RequestFuture(Future):
+    """A :class:`~concurrent.futures.Future` that knows its request id.
+
+    The id is what :meth:`Server.cancel` takes — returned from ``submit``
+    so a client can cancel the request it just started without waiting for
+    any part of the response.
+    """
+
+    def __init__(self, request_id: int) -> None:
+        super().__init__()
+        self.request_id = request_id
 
 
 _SHUTDOWN = object()
@@ -125,6 +169,9 @@ class Server:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         slow_query_seconds: Optional[float] = None,
+        cancellation: bool = True,
+        max_rows_per_request: Optional[int] = None,
+        max_bytes_per_request: Optional[int] = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be at least 1")
@@ -133,11 +180,24 @@ class Server:
         self.database = database or TemporalDatabase()
         self.max_concurrency = max_concurrency
         self.queue_limit = queue_limit
-        #: Default queue-wait deadline in seconds (``None``: wait forever).
-        #: Python threads cannot be preempted mid-query, so the deadline
-        #: bounds the *queue wait*: a request that has not started executing
-        #: when it expires is answered ``timed_out`` without running.
+        #: Default request deadline in seconds (``None``: no deadline).
+        #: With ``cancellation`` on (the default) the deadline holds end to
+        #: end: expired-while-queued requests are answered ``timed_out``
+        #: without running, and an *executing* request is stopped
+        #: cooperatively within one check interval of its deadline passing.
+        #: With ``cancellation`` off the deadline bounds only the queue
+        #: wait (the pre-cancellation behaviour).
         self.request_timeout = request_timeout
+        #: Carry a :class:`~repro.faults.control.CancellationToken` with
+        #: every request: deadlines hold mid-execution and
+        #: :meth:`cancel`/``{"op": "cancel"}`` work.  Off, the serving path
+        #: is control-free end to end — the overhead-benchmark baseline.
+        self.cancellation = cancellation
+        #: Per-request resource budgets (rows pulled / bytes materialized);
+        #: ``None`` means unbounded.  Enforced on the same cooperative hook
+        #: as cancellation, answering ``RESOURCE_EXHAUSTED``.
+        self.max_rows_per_request = max_rows_per_request
+        self.max_bytes_per_request = max_bytes_per_request
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
         #: The serving counters live in a :class:`MetricsRegistry`, which is
         #: the single source of truth: :meth:`stats` reads the same
@@ -157,6 +217,10 @@ class Server:
         self._lock = threading.Lock()
         self._started = False
         self._closed = False
+        self._request_ids = itertools.count(1)
+        #: Tokens of admitted, unanswered requests, by request id — what
+        #: :meth:`cancel` looks up.  Guarded by ``_lock``.
+        self._inflight: Dict[int, CancellationToken] = {}
         registry = self.metrics
         self._submitted = registry.counter(
             "repro_server_requests_submitted_total",
@@ -171,10 +235,25 @@ class Server:
         )
         self._timed_out = registry.counter(
             "repro_server_requests_timed_out_total",
-            "Requests whose deadline expired while queued.",
+            "Requests whose deadline expired (queued or executing).",
         )
         self._failed = registry.counter(
             "repro_server_requests_failed_total", "Requests answered with an error."
+        )
+        self._cancelled = registry.counter(
+            "repro_server_requests_cancelled_total",
+            "Requests stopped by an explicit cancel.",
+        )
+        self._worker_crashes = registry.counter(
+            "repro_server_worker_crashes_total",
+            "Workers lost to an escaped BaseException (pool keeps serving).",
+        )
+        # Get-or-create: the worker sessions request the same instrument,
+        # so session-counted and server-counted failures land in one place.
+        self._errors = registry.counter(
+            "repro_request_errors_total",
+            "Failed statement executions by stable error code.",
+            labelnames=("code",),
         )
         self._active = registry.gauge(
             "repro_server_active_workers", "Workers executing a request right now."
@@ -263,14 +342,18 @@ class Server:
         of when a worker actually executes the request.  Raises
         :class:`ServerOverloadedError` when the queue is full and
         :class:`ServerClosedError` after :meth:`close`.
+
+        The returned :class:`RequestFuture` carries the ``request_id``
+        :meth:`cancel` takes; with the server's ``cancellation`` on, the
+        deadline (``timeout`` or the server default) also stops the query
+        mid-execution, answering ``timed_out``.
         """
         snapshot = self.database.snapshot()
+        deadline = self._deadline(timeout)
         return self._admit(
-            _Request(
+            self._request(
                 kind="query",
-                future=Future(),
-                admitted_at=time.perf_counter(),
-                deadline=self._deadline(timeout),
+                deadline=deadline,
                 statement=statement,
                 params=tuple(params),
                 snapshot=snapshot,
@@ -285,15 +368,30 @@ class Server:
     ) -> "Future[Response]":
         """Admit an append of ``rows`` (in schema order) to ``table``."""
         return self._admit(
-            _Request(
+            self._request(
                 kind="append",
-                future=Future(),
-                admitted_at=time.perf_counter(),
                 deadline=self._deadline(timeout),
                 table=table,
                 rows=tuple(tuple(row) for row in rows),
             )
         )
+
+    def cancel(self, request_id: int, reason: str = "cancelled by client") -> bool:
+        """Cancel an admitted, unanswered request by its id.
+
+        Cooperative, so asynchronous-safe: this only flips the request's
+        token; the executing worker notices at its next check (within one
+        check interval) and answers ``cancelled``.  A request still queued
+        is answered ``cancelled`` at dequeue without executing.  Returns
+        False when the id is unknown or already answered — cancellation
+        races completion by design, and losing that race is not an error.
+        """
+        with self._lock:
+            token = self._inflight.get(request_id)
+        if token is None:
+            return False
+        token.cancel(reason)
+        return True
 
     def query(
         self,
@@ -319,6 +417,19 @@ class Server:
             return None
         return time.perf_counter() + timeout
 
+    def _request(self, kind: str, deadline: Optional[float], **fields) -> _Request:
+        request_id = next(self._request_ids)
+        token = CancellationToken(deadline=deadline) if self.cancellation else None
+        return _Request(
+            kind=kind,
+            future=RequestFuture(request_id),
+            admitted_at=time.perf_counter(),
+            deadline=deadline,
+            request_id=request_id,
+            token=token,
+            **fields,
+        )
+
     def _admit(self, request: _Request) -> "Future[Response]":
         with self._lock:
             if self._closed:
@@ -326,9 +437,13 @@ class Server:
             if not self._started:
                 raise ServerClosedError("server is not started (call start())")
             self._submitted.inc()
+            if request.token is not None:
+                self._inflight[request.request_id] = request.token
         try:
             self._queue.put_nowait(request)
         except queue.Full:
+            with self._lock:
+                self._inflight.pop(request.request_id, None)
             self._rejected.inc()
             raise ServerOverloadedError(
                 f"request queue is at its limit ({self.queue_limit}); retry later"
@@ -352,63 +467,150 @@ class Server:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            self._process(session, item)
+            try:
+                self._process(session, item)
+            except BaseException as exc:
+                # _process answers every Exception itself; what reaches
+                # here is BaseException-adjacent (KeyboardInterrupt, ...)
+                # — the thread must die, but *contained*: the request is
+                # answered, the books stay consistent, and the remaining
+                # workers keep serving.
+                self._contain_crash(item, exc)
+                return
+
+    def _contain_crash(self, request: _Request, exc: BaseException) -> None:
+        self._worker_crashes.inc()
+        self._failed.inc()
+        self._count_error(exc)
+        with self._lock:
+            self._inflight.pop(request.request_id, None)
+        if not request.future.done():
+            request.future.set_result(
+                Response(
+                    status="error",
+                    kind=request.kind,
+                    error=f"worker crashed: {exc!r}",
+                    code=error_code(exc),
+                    latency_seconds=time.perf_counter() - request.admitted_at,
+                    request_id=request.request_id,
+                )
+            )
+
+    def _count_error(self, exc: BaseException) -> None:
+        self._errors.labels(code=error_code(exc)).inc()
 
     def _process(self, session: Session, request: _Request) -> None:
         now = time.perf_counter()
-        if request.deadline is not None and now > request.deadline:
-            self._timed_out.inc()
-            request.future.set_result(
-                Response(
-                    status="timed_out",
-                    kind=request.kind,
-                    error="deadline expired while queued",
-                    latency_seconds=now - request.admitted_at,
-                )
-            )
-            return
-        with self._lock:
-            # The peak needs a read-modify-write over both gauges, so it
-            # stays under the server lock even though each gauge has its own.
-            self._active.inc()
-            self._peak_active.set(max(self._peak_active.value(), self._active.value()))
+        token = request.token
         try:
-            if request.kind == "query":
-                result = session.execute(
-                    request.statement, request.params, snapshot=request.snapshot
+            if request.deadline is not None and now > request.deadline:
+                exc: BaseException = DeadlineExceededError("deadline expired while queued")
+                self._count_error(exc)
+                self._respond(request, self._error_response(request, exc, now))
+                return
+            if token is not None and token.cancelled:
+                exc = CancelledError("cancelled while queued")
+                self._count_error(exc)
+                self._respond(request, self._error_response(request, exc, now))
+                return
+            with self._lock:
+                # The peak needs a read-modify-write over both gauges, so it
+                # stays under the server lock even though each gauge has its
+                # own.
+                self._active.inc()
+                self._peak_active.set(
+                    max(self._peak_active.value(), self._active.value())
                 )
-                timings = result.timings
-                response = Response(
-                    status="ok",
-                    kind="query",
-                    relation=result.relation,
-                    epoch=result.epoch,
-                    cache_hit=result.cache_hit,
-                    timings={
-                        "parse": timings.parse_seconds,
-                        "optimize": timings.plan_seconds,
-                        "execute": timings.execute_seconds,
-                    },
-                    trace_id=result.trace_id,
-                )
-            else:
-                # append() reports the epoch atomically with the insert, so
-                # concurrent appends each see their own resulting epoch.
-                inserted, epoch = self.database.append(request.table, request.rows)
-                response = Response(
-                    status="ok",
-                    kind="append",
-                    rows_inserted=inserted,
-                    epoch=epoch,
-                )
-        except Exception as exc:  # one bad request must not kill the worker
-            response = Response(status="error", kind=request.kind, error=str(exc))
+            in_session = False
+            try:
+                if FAULTS.active:
+                    FAULTS.check("server.worker", token=token)
+                if request.kind == "query":
+                    in_session = True
+                    result = session.execute(
+                        request.statement,
+                        request.params,
+                        snapshot=request.snapshot,
+                        token=token,
+                        guard=self._guard(),
+                    )
+                    timings = result.timings
+                    response = Response(
+                        status="ok",
+                        kind="query",
+                        relation=result.relation,
+                        epoch=result.epoch,
+                        cache_hit=result.cache_hit,
+                        timings={
+                            "parse": timings.parse_seconds,
+                            "optimize": timings.plan_seconds,
+                            "execute": timings.execute_seconds,
+                        },
+                        trace_id=result.trace_id,
+                        request_id=request.request_id,
+                    )
+                else:
+                    # append() reports the epoch atomically with the insert,
+                    # so concurrent appends each see their own resulting
+                    # epoch.  Appends are short and atomic; they take the
+                    # worker-point fault check above but no mid-flight
+                    # cancellation (nothing to stop halfway).
+                    inserted, epoch = self.database.append(request.table, request.rows)
+                    response = Response(
+                        status="ok",
+                        kind="append",
+                        rows_inserted=inserted,
+                        epoch=epoch,
+                        request_id=request.request_id,
+                    )
+            except Exception as exc:  # one bad request must not kill the worker
+                # Worker sessions record their own failures in the shared
+                # ``repro_request_errors_total`` counter; the server counts
+                # only failures that never reached a session (appends,
+                # injected worker faults) so each lands exactly once.
+                response = self._error_response(request, exc, time.perf_counter())
+                if not in_session:
+                    self._count_error(exc)
+            finally:
+                self._active.dec()
+            self._respond(request, response)
         finally:
-            self._active.dec()
-        finished = time.perf_counter()
-        response.latency_seconds = finished - request.admitted_at
+            with self._lock:
+                self._inflight.pop(request.request_id, None)
+
+    def _guard(self) -> Optional[ResourceGuard]:
+        if self.max_rows_per_request is None and self.max_bytes_per_request is None:
+            return None
+        return ResourceGuard(
+            max_rows=self.max_rows_per_request, max_bytes=self.max_bytes_per_request
+        )
+
+    def _error_response(
+        self, request: _Request, exc: BaseException, now: float
+    ) -> Response:
+        if isinstance(exc, DeadlineExceededError):
+            status = "timed_out"
+        elif isinstance(exc, CancelledError):
+            status = "cancelled"
+        else:
+            status = "error"
+        return Response(
+            status=status,
+            kind=request.kind,
+            error=str(exc),
+            code=error_code(exc),
+            latency_seconds=now - request.admitted_at,
+            request_id=request.request_id,
+        )
+
+    def _respond(self, request: _Request, response: Response) -> None:
+        response.latency_seconds = time.perf_counter() - request.admitted_at
         if response.status == "ok":
             self._completed.inc()
+        elif response.status == "timed_out":
+            self._timed_out.inc()
+        elif response.status == "cancelled":
+            self._cancelled.inc()
         else:
             self._failed.inc()
         self._latencies.record(response.latency_seconds)
@@ -438,6 +640,8 @@ class Server:
                 epoch=self.database.statistics_epoch(),
                 latency=self._latencies.summary(),
                 plan_cache=self.plan_cache.info(),
+                cancelled=int(self._cancelled.value()),
+                worker_crashes=int(self._worker_crashes.value()),
             )
 
     def metrics_exposition(self) -> str:

@@ -7,7 +7,17 @@ carry an ``op``:
     Run a statement (``params`` and ``timeout`` optional).  The response is
     ``{"status": "ok", "columns": [...], "rows": [[...], ...], "epoch": N,
     "cache_hit": true, "latency_seconds": ...}`` — or ``status`` of
-    ``"error"``/``"timed_out"``/``"rejected"`` with an ``"error"`` message.
+    ``"error"``/``"timed_out"``/``"cancelled"``/``"rejected"`` with an
+    ``"error"`` message and a stable ``"code"`` (see
+    :mod:`repro.core.exceptions`).  An optional client-chosen ``"id"``
+    registers the in-flight request so another connection can cancel it.
+
+``{"op": "cancel", "id": "..."}`` / ``{"op": "cancel", "request_id": N}``
+    Cancel an in-flight query by the client-chosen ``id`` it was submitted
+    with, or by the server-assigned ``request_id``.  Replies
+    ``{"status": "ok", "cancelled": true|false}`` — false means the
+    request was unknown or already answered (cancellation races
+    completion by design).
 
 ``{"op": "append", "table": "EMPLOYEE", "rows": [[...], ...]}``
     Append rows in schema order; an ``ok`` response reports
@@ -28,23 +38,40 @@ carry an ``op``:
 ``{"op": "ping"}``
     ``{"status": "ok", "pong": true}`` — liveness only.
 
+Request lines are capped at ``max_request_bytes`` (1 MiB by default): an
+oversized line is answered ``{"status": "error", "code":
+"REQUEST_TOO_LARGE"}`` and the connection is closed, so a misbehaving (or
+malicious) client cannot buffer unbounded memory server-side.  Malformed
+JSON answers ``code: "BAD_REQUEST"`` and keeps the connection; a client
+that disconnects mid-line is dropped silently.
+
 The front end is a ``ThreadingTCPServer`` whose handler threads merely parse
 lines and block on the wrapped :class:`~repro.server.server.Server` — all
 admission control, concurrency limits and snapshots stay in the server;
 the TCP layer adds no second scheduling policy.  :class:`TCPClient` is the
-matching blocking client used by the examples and the tests.
+matching blocking client used by the examples and the tests; give it a
+:class:`RetryPolicy` and it retries ``OVERLOADED``/``UNAVAILABLE`` replies
+with capped exponential backoff and jitter, and reconnects once per
+request on a broken connection.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import random
 import socket
 import socketserver
 import threading
-from typing import Any, Dict, Optional, Sequence
+import time
+from typing import Any, Callable, Dict, FrozenSet, Optional, Sequence
 
+from ..core.exceptions import RETRYABLE_CODES, error_code
+from ..faults import FAULTS
 from .server import Response, Server, ServerOverloadedError
+
+#: Default cap on one request line, bytes (including the newline).
+DEFAULT_MAX_REQUEST_BYTES = 1 << 20
 
 
 def response_to_wire(response: Response) -> Dict[str, Any]:
@@ -54,9 +81,12 @@ def response_to_wire(response: Response) -> Dict[str, Any]:
         "kind": response.kind,
         "epoch": response.epoch,
         "latency_seconds": response.latency_seconds,
+        "request_id": response.request_id,
     }
     if response.error is not None:
         payload["error"] = response.error
+    if response.code is not None:
+        payload["code"] = response.code
     if response.kind == "query" and response.relation is not None:
         payload["columns"] = list(response.relation.schema.attributes)
         payload["rows"] = [list(t.values()) for t in response.relation.tuples]
@@ -75,22 +105,54 @@ class _RequestHandler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:  # pragma: no branch - loop exits on EOF
         server: Server = self.server.repro_server  # type: ignore[attr-defined]
-        for raw in self.rfile:
+        limit: int = self.server.max_request_bytes  # type: ignore[attr-defined]
+        while True:
+            # Bounded read: at most limit+1 bytes buffer regardless of what
+            # the client sends, instead of readline()'s unbounded growth.
+            raw = self.rfile.readline(limit + 1)
+            if not raw:
+                return  # EOF: client closed cleanly between requests
+            if len(raw) > limit:
+                self._reply(
+                    {
+                        "status": "error",
+                        "error": f"request line exceeds {limit} bytes",
+                        "code": "REQUEST_TOO_LARGE",
+                    }
+                )
+                return  # the rest of the oversized line would be garbage
+            if not raw.endswith(b"\n"):
+                return  # half a line then EOF: client died mid-send
             line = raw.strip()
             if not line:
                 continue
             try:
                 reply = self._dispatch(server, json.loads(line))
             except json.JSONDecodeError as exc:
-                reply = {"status": "error", "error": f"bad JSON: {exc}"}
+                reply = {
+                    "status": "error",
+                    "error": f"bad JSON: {exc}",
+                    "code": "BAD_REQUEST",
+                }
             except ServerOverloadedError as exc:
-                reply = {"status": "rejected", "error": str(exc)}
+                reply = {"status": "rejected", "error": str(exc), "code": exc.code}
             except Exception as exc:  # defensive: never kill the connection
-                reply = {"status": "error", "error": str(exc)}
+                reply = {"status": "error", "error": str(exc), "code": error_code(exc)}
+            if not self._reply(reply):
+                return
+
+    def _reply(self, reply: Dict[str, Any]) -> bool:
+        """Write one reply line; False when the client is already gone."""
+        try:
             self.wfile.write(json.dumps(reply).encode("utf-8") + b"\n")
             self.wfile.flush()
+            return True
+        except OSError:
+            return False
 
     def _dispatch(self, server: Server, message: Dict[str, Any]) -> Dict[str, Any]:
+        if FAULTS.active:
+            FAULTS.check("server.tcp")
         op = message.get("op")
         if op == "ping":
             return {"status": "ok", "pong": True}
@@ -100,13 +162,10 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             return {"status": "ok", "exposition": server.metrics_exposition()}
         if op == "trace":
             return {"status": "ok", "traces": server.recent_traces(message.get("limit"))}
+        if op == "cancel":
+            return {"status": "ok", "cancelled": self._cancel(server, message)}
         if op == "query":
-            response = server.query(
-                message["statement"],
-                params=tuple(message.get("params", ())),
-                timeout=message.get("timeout"),
-            )
-            return response_to_wire(response)
+            return self._query(server, message)
         if op == "append":
             response = server.append(
                 message["table"],
@@ -114,7 +173,39 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 timeout=message.get("timeout"),
             )
             return response_to_wire(response)
-        return {"status": "error", "error": f"unknown op: {op!r}"}
+        return {"status": "error", "error": f"unknown op: {op!r}", "code": "BAD_REQUEST"}
+
+    def _query(self, server: Server, message: Dict[str, Any]) -> Dict[str, Any]:
+        key = message.get("id")
+        future = server.submit(
+            message["statement"],
+            params=tuple(message.get("params", ())),
+            timeout=message.get("timeout"),
+        )
+        # Register *before* blocking, so a second connection's cancel can
+        # find the request while this one waits for the result.
+        if key is not None:
+            with self.server.pending_lock:  # type: ignore[attr-defined]
+                self.server.pending[str(key)] = future.request_id  # type: ignore[attr-defined]
+        try:
+            response = future.result()
+        finally:
+            if key is not None:
+                with self.server.pending_lock:  # type: ignore[attr-defined]
+                    self.server.pending.pop(str(key), None)  # type: ignore[attr-defined]
+        return response_to_wire(response)
+
+    def _cancel(self, server: Server, message: Dict[str, Any]) -> bool:
+        request_id = message.get("request_id")
+        if request_id is None:
+            key = message.get("id")
+            if key is None:
+                return False
+            with self.server.pending_lock:  # type: ignore[attr-defined]
+                request_id = self.server.pending.get(str(key))  # type: ignore[attr-defined]
+        if request_id is None:
+            return False
+        return server.cancel(int(request_id))
 
 
 class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
@@ -127,13 +218,27 @@ class TCPFrontend:
 
     Binds at construction (``port=0`` picks a free port — read ``.address``),
     serves from a background thread after :meth:`start`, and is a context
-    manager like the server it wraps.
+    manager like the server it wraps.  ``max_request_bytes`` caps how much
+    one request line may buffer before being rejected
+    ``REQUEST_TOO_LARGE``.
     """
 
-    def __init__(self, server: Server, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        server: Server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ) -> None:
+        if max_request_bytes < 1:
+            raise ValueError("max_request_bytes must be at least 1")
         self.server = server
         self._tcp = _ThreadingTCPServer((host, port), _RequestHandler)
         self._tcp.repro_server = server  # type: ignore[attr-defined]
+        self._tcp.max_request_bytes = max_request_bytes  # type: ignore[attr-defined]
+        # Client-chosen id -> server request id, for the cancel op.
+        self._tcp.pending = {}  # type: ignore[attr-defined]
+        self._tcp.pending_lock = threading.Lock()  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -165,22 +270,134 @@ class TCPFrontend:
         self.close()
 
 
-class TCPClient:
-    """A blocking line-JSON client for :class:`TCPFrontend`."""
+@dataclasses.dataclass
+class RetryPolicy:
+    """Capped exponential backoff with jitter for retryable error codes.
 
-    def __init__(self, host: str, port: int, connect_timeout: float = 5.0) -> None:
-        self._socket = socket.create_connection((host, port), timeout=connect_timeout)
-        self._socket.settimeout(None)
+    The delay before retry ``n`` (0-based) is ``min(max_delay, base_delay ·
+    2ⁿ)`` scaled by a random factor in ``[1 - jitter, 1]`` so a herd of
+    rejected clients does not retry in lockstep.  Only replies whose
+    ``code`` is in ``retryable`` (by default
+    :data:`~repro.core.exceptions.RETRYABLE_CODES` — ``OVERLOADED`` and
+    ``UNAVAILABLE``) are retried; a deterministic ``seed`` makes the jitter
+    reproducible in tests.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    retryable: FrozenSet[str] = RETRYABLE_CODES
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        capped = min(self.max_delay, self.base_delay * (2**attempt))
+        return capped * (1.0 - self.jitter * self._rng.random())
+
+
+class TCPClient:
+    """A blocking line-JSON client for :class:`TCPFrontend`.
+
+    Fault-tolerant by configuration, not by default: with ``retry`` set,
+    replies carrying a retryable code are retried with the policy's
+    backoff; with ``read_timeout`` set, a reply that never comes raises
+    :class:`TimeoutError` instead of blocking forever.  A broken
+    connection (server restarted, socket reset) is re-established at most
+    once per request before the error propagates.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        read_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._address = (host, port)
+        self._connect_timeout = connect_timeout
+        self._read_timeout = read_timeout
+        self._retry = retry
+        self._sleep = sleep
+        self._socket: Optional[socket.socket] = None
+        self._file = None
+        self._connect()
+
+    # -- connection plumbing ------------------------------------------------------
+
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            self._address, timeout=self._connect_timeout
+        )
+        self._socket.settimeout(self._read_timeout)
         self._file = self._socket.makefile("rwb")
 
-    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request object, block for its reply object."""
-        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
-        self._file.flush()
-        raw = self._file.readline()
+    def _drop_connection(self) -> None:
+        try:
+            self.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+        self._socket = None
+        self._file = None
+
+    def _roundtrip(self, payload: bytes) -> Dict[str, Any]:
+        if self._file is None:
+            self._connect()
+        try:
+            self._file.write(payload)
+            self._file.flush()
+            raw = self._file.readline()
+        except socket.timeout:
+            # The reply may still arrive later and desynchronize the
+            # stream, so the connection is unusable: drop it.
+            self._drop_connection()
+            raise TimeoutError(
+                f"no reply within {self._read_timeout} seconds"
+            ) from None
+        except OSError as exc:
+            self._drop_connection()
+            raise ConnectionError(f"connection broken: {exc}") from exc
         if not raw:
+            self._drop_connection()
             raise ConnectionError("server closed the connection")
         return json.loads(raw)
+
+    # -- the protocol -------------------------------------------------------------
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, block for its reply object.
+
+        Reconnects once on a broken connection; with a :class:`RetryPolicy`
+        configured, retries retryable-coded replies with backoff.
+        """
+        payload = json.dumps(message).encode("utf-8") + b"\n"
+        attempts = self._retry.max_attempts if self._retry is not None else 1
+        for attempt in range(attempts):
+            try:
+                reply = self._roundtrip(payload)
+            except ConnectionError:
+                # Reconnect-once: a fresh connection gets one more shot at
+                # this request; if it breaks too, the error propagates.
+                reply = self._roundtrip(payload)
+            code = reply.get("code")
+            if (
+                self._retry is not None
+                and code in self._retry.retryable
+                and attempt + 1 < attempts
+            ):
+                self._sleep(self._retry.delay(attempt))
+                continue
+            return reply
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def ping(self) -> Dict[str, Any]:
         return self.request({"op": "ping"})
@@ -204,12 +421,26 @@ class TCPClient:
         statement: str,
         params: Sequence[object] = (),
         timeout: Optional[float] = None,
+        id: Optional[str] = None,
     ) -> Dict[str, Any]:
         message: Dict[str, Any] = {"op": "query", "statement": statement}
         if params:
             message["params"] = list(params)
         if timeout is not None:
             message["timeout"] = timeout
+        if id is not None:
+            message["id"] = id
+        return self.request(message)
+
+    def cancel(
+        self, id: Optional[str] = None, request_id: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Cancel an in-flight query by client-chosen id or server id."""
+        message: Dict[str, Any] = {"op": "cancel"}
+        if id is not None:
+            message["id"] = id
+        if request_id is not None:
+            message["request_id"] = request_id
         return self.request(message)
 
     def append(
@@ -228,10 +459,12 @@ class TCPClient:
         return self.request(message)
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._socket.close()
+        if self._file is not None:
+            try:
+                self._file.close()
+            finally:
+                if self._socket is not None:
+                    self._socket.close()
 
     def __enter__(self) -> "TCPClient":
         return self

@@ -34,7 +34,8 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple as PyTuple
 
 from ..core.cost import cost_annotations
-from ..core.exceptions import ParameterError
+from ..core.exceptions import ParameterError, error_code
+from ..faults import FAULTS, ExecutionControl
 from ..core.operations import Operation
 from ..core.query import QueryResultSpec
 from ..core.relation import Relation
@@ -148,11 +149,26 @@ class Session:
                 "repro_operator_rows_total",
                 "Rows produced by plan operators the stratum executed.",
             )
+            self._errors = metrics.counter(
+                "repro_request_errors_total",
+                "Failed statement executions by stable error code.",
+                labelnames=("code",),
+            )
+            self._degraded = metrics.counter(
+                "repro_degraded_total",
+                "Requests that fell back to a degraded path, by stage.",
+                labelnames=("stage",),
+            )
 
     # -- the lifecycle ------------------------------------------------------------
 
     def execute(
-        self, statement: str, params: Sequence[object] = (), snapshot=None
+        self,
+        statement: str,
+        params: Sequence[object] = (),
+        snapshot=None,
+        token=None,
+        guard=None,
     ) -> SessionResult:
         """Run a statement end to end; ``EXPLAIN`` statements return a report.
 
@@ -168,9 +184,34 @@ class Session:
         reads only the pinned relations — so the result is exactly the
         serial answer at that epoch even while concurrent appends advance
         the live catalog.
+
+        With a ``token`` (:class:`~repro.faults.control.CancellationToken`)
+        the lifecycle is cooperatively cancellable: the token is checked
+        between phases and every few tuples inside both engines' pull
+        loops, so a cancel or an expired deadline stops the statement
+        within one check interval, raising
+        :class:`~repro.core.exceptions.CancelledError` /
+        :class:`~repro.core.exceptions.DeadlineExceededError`.  A ``guard``
+        (:class:`~repro.faults.control.ResourceGuard`) bounds rows pulled
+        and bytes materialized on the same hook.  Any failure is recorded
+        before it propagates: the request trace (when sampled) finishes
+        with ``error=True`` and the stable error code, and
+        ``repro_request_errors_total{code=}`` counts it.
         """
         tracer = self.tracer
         trace = None if tracer is None else tracer.start_trace("request", statement=statement)
+        try:
+            return self._execute(statement, params, snapshot, token, guard, trace)
+        except BaseException as exc:
+            self._record_failure(exc, trace)
+            raise
+
+    def _execute(
+        self, statement: str, params: Sequence[object], snapshot, token, guard, trace
+    ) -> SessionResult:
+        tracer = self.tracer
+        if token is not None:
+            token.check()
         started = time.perf_counter()
         if trace is None:
             ast = parse_statement(statement)
@@ -208,14 +249,23 @@ class Session:
             self._finish_request(ast, result, trace)
             return result
         entry, hit, plan_seconds = self._plan_traced(ast, snapshot, trace)
+        if token is not None:
+            token.check()
         if trace is None:
             bound = self._bind(entry, params)
         else:
             with trace.span("bind", parameters=len(params)):
                 bound = self._bind(entry, params)
+        # The control bundle exists only when something rides on it — a
+        # token, a budget, or an armed fault point; the default path hands
+        # the executors ``None`` and stays control-free end to end.
+        control = None
+        if token is not None or guard is not None or FAULTS.active:
+            control = ExecutionControl(token=token, guard=guard)
         executor = StratumExecutor(
             snapshot.dbms if snapshot is not None else self.database.dbms,
             clock=None if trace is None else tracer.clock,
+            control=control,
         )
         execute_started = time.perf_counter()
         if trace is None:
@@ -228,6 +278,8 @@ class Session:
                     dbms_calls=executor.report.dbms_calls,
                     transferred_tuples=executor.report.transferred_tuples,
                 )
+                if executor.report.degraded_operations:
+                    span.set(degraded=list(executor.report.degraded_operations))
                 self._record_operator_spans(trace, bound, executor.report)
         execute_seconds = time.perf_counter() - execute_started
         result = SessionResult(
@@ -290,6 +342,8 @@ class Session:
                 "fingerprint": entry.key.fingerprint,
                 "epoch": entry.key.epoch,
             }
+            if entry.optimization.degraded is not None:
+                attributes["degraded"] = entry.optimization.degraded
             search = entry.optimization.search
             if search is not None:
                 attributes.update(search.statistics.as_span_attributes())
@@ -321,6 +375,22 @@ class Session:
                 {"rows": span.rows, "engine": "dbms"},
             )
 
+    def _record_failure(self, exc: BaseException, trace) -> None:
+        """Mark a failed execution before the exception propagates.
+
+        Failures stay *visible* even though the session re-raises: the
+        sampled trace finishes flagged with the stable error code (instead
+        of leaking unfinished), and the error counter records one more
+        failure under that code.  Intentionally takes ``BaseException`` —
+        a worker killed by ``KeyboardInterrupt`` should leave a marked
+        trace behind, not a dangling one.
+        """
+        if self.tracer is not None and trace is not None:
+            trace.root.set(error=True, error_code=error_code(exc))
+            self.tracer.finish(trace)
+        if self.metrics is not None:
+            self._errors.labels(code=error_code(exc)).inc()
+
     def _finish_request(self, ast: Statement, result: SessionResult, trace) -> None:
         """Post-request observability: finish the trace, count, slow-log."""
         if self.tracer is not None:
@@ -333,8 +403,14 @@ class Session:
                 search = result.optimization.search
                 if search is not None:
                     self._memo_tasks.inc(search.statistics.applications_attempted)
+                if result.optimization.degraded is not None:
+                    self._degraded.labels(stage="memo_search").inc()
             if result.report is not None:
                 self._operator_rows.inc(sum(result.report.node_rows.values()))
+                if result.report.degraded_operations:
+                    self._degraded.labels(stage="stratum_physical").inc(
+                        len(result.report.degraded_operations)
+                    )
         if self.slow_query_log.should_log(result.timings.total_seconds):
             # The costing pass is paid only here, after the threshold has
             # already been crossed — never on the fast path.
@@ -384,6 +460,8 @@ class Session:
         return entry, False
 
     def _bind(self, entry: CachedPlan, params: Sequence[object]) -> Operation:
+        if FAULTS.active:
+            FAULTS.check("session.bind")
         if entry.parameter_count == 0 and not params:
             return entry.plan
         if len(params) != entry.parameter_count:

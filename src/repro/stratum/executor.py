@@ -20,7 +20,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from ..core.operations.base import PlanPath, ROOT_PATH
 
-from ..core.exceptions import EngineError
+from ..core.exceptions import (
+    CancelledError,
+    EngineError,
+    ResourceExhaustedError,
+    error_code,
+)
 from ..core.operations import (
     BaseRelation,
     Coalescing,
@@ -68,6 +73,11 @@ class StratumExecutionReport:
     #: Timed physical-operator drains inside DBMS fragments, in call order;
     #: only filled when the executor runs with a clock.
     dbms_operator_spans: List[OperatorSpan] = field(default_factory=list)
+    #: Pipelined regions that failed mid-drain and were re-executed through
+    #: the reference semantics (graceful degradation): one entry per fallen
+    #: back region, ``"<node label> at <path>: <error code>"``.  Empty on
+    #: every healthy execution.
+    degraded_operations: List[str] = field(default_factory=list)
 
 
 class StratumExecutor:
@@ -78,6 +88,7 @@ class StratumExecutor:
         dbms: ConventionalDBMS,
         optimize_dbms_fragments: bool = True,
         clock: Optional[Callable[[], float]] = None,
+        control=None,
     ) -> None:
         self._dbms = dbms
         self._optimize_dbms_fragments = optimize_dbms_fragments
@@ -86,6 +97,16 @@ class StratumExecutor:
         #: operator drains inside DBMS fragments.  Without one — the
         #: default — every timing site is a single predictable branch.
         self._clock = clock
+        #: With a ``control`` (:class:`~repro.faults.control.ExecutionControl`)
+        #: every pull loop in both engines ticks it, every plan node is a
+        #: token checkpoint, and every materialized node result is charged
+        #: against the byte budget.  ``None``-gated like the clock.
+        self._control = control
+        #: Set while a failed pipelined region re-executes through the
+        #: reference semantics (see :meth:`_execute_pipelined`): forces
+        #: :meth:`_evaluate_stratum` past the physical layer so the retry
+        #: cannot re-enter the code path that just failed.
+        self._reference_only = False
         self.report = StratumExecutionReport()
 
     def execute(self, plan: Operation) -> Relation:
@@ -96,14 +117,18 @@ class StratumExecutor:
     # -- stratum side ------------------------------------------------------------
 
     def _execute_stratum(self, node: Operation, path: PlanPath = ROOT_PATH) -> Relation:
+        control = self._control
+        if control is not None:
+            control.checkpoint()
         if self._clock is None:
             result = self._evaluate_stratum(node, path)
-            self.report.node_rows[path] = len(result)
-            return result
-        started = self._clock()
-        result = self._evaluate_stratum(node, path)
-        self.report.node_timings[path] = (started, self._clock() - started)
+        else:
+            started = self._clock()
+            result = self._evaluate_stratum(node, path)
+            self.report.node_timings[path] = (started, self._clock() - started)
         self.report.node_rows[path] = len(result)
+        if control is not None and control.guard is not None:
+            control.guard.charge_relation(result)
         return result
 
     def _evaluate_stratum(self, node: Operation, path: PlanPath) -> Relation:
@@ -120,7 +145,7 @@ class StratumExecutor:
             return relation
         if isinstance(node, LiteralRelation):
             return node.relation
-        if is_pipelined(node):
+        if is_pipelined(node) and not self._reference_only:
             return self._execute_pipelined(node, path)
         child_results = [
             self._execute_stratum(child, path + (index,))
@@ -140,12 +165,39 @@ class StratumExecutor:
         ordinary recursion above.  Each physical operator counts the rows it
         emits, so per-node actuals stay available to EXPLAIN ANALYZE; a
         product fused into a join never materialises and reports no count.
+
+        When lowering or draining the region fails, execution **degrades**
+        instead of dying: the region is re-executed through the reference
+        recursion (``_reference_only``), which is slower but shares no code
+        with the physical layer that just failed.  The fallback is recorded
+        in :attr:`StratumExecutionReport.degraded_operations` (per-region
+        work counters may double-count the failed attempt).  Cancellation,
+        deadline and resource errors are *not* degradable — they mean
+        "stop", not "this operator is broken" — and propagate unchanged.
         """
-        root = lower_plan(node, path, self._execute_stratum)
-        if self._clock is not None:
-            for operator in root.operators():
-                operator._timer = self._clock
-        relation = root.to_relation()
+        try:
+            root = lower_plan(node, path, self._execute_stratum)
+            if self._clock is not None or self._control is not None:
+                for operator in root.operators():
+                    operator._timer = self._clock
+                    operator._control = self._control
+            relation = root.to_relation()
+        except (CancelledError, ResourceExhaustedError):
+            raise
+        except Exception as exc:
+            self.report.degraded_operations.append(
+                f"{node.label()} at {path}: {error_code(exc)}"
+            )
+            self._reference_only = True
+            try:
+                child_results = [
+                    self._execute_stratum(child, path + (index,))
+                    for index, child in enumerate(node.children)
+                ]
+                self.report.stratum_operations += 1
+                return self._apply(node, child_results)
+            finally:
+                self._reference_only = False
         for operator in root.operators():
             if not operator.paths:
                 continue
@@ -181,7 +233,10 @@ class StratumExecutor:
         prepared = self._materialize_stratum_islands(fragment, path)
         self.report.dbms_calls += 1
         result = self._dbms.execute(
-            prepared, optimize=self._optimize_dbms_fragments, clock=self._clock
+            prepared,
+            optimize=self._optimize_dbms_fragments,
+            clock=self._clock,
+            control=self._control,
         )
         self.report.dbms_operator_spans.extend(result.report.operator_spans)
         self.report.dbms_emulated_operations.extend(result.report.emulated_operations)

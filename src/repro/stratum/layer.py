@@ -23,6 +23,8 @@ from typing import Tuple as PyTuple
 
 from ..core.cost import CostModel, PlanCost, choose_best_plan, estimate_cost
 from ..core.enumeration import EnumerationResult, EnumerationStatistics, enumerate_plans
+from ..core.exceptions import CancelledError, ResourceExhaustedError, error_code
+from ..faults import FAULTS
 from ..core.operations import Operation
 from ..core.operations.base import EvaluationContext
 from ..core.order_spec import OrderSpec
@@ -52,6 +54,11 @@ class OptimizationOutcome:
     initial_cost: PlanCost
     enumeration: Optional[EnumerationResult] = None
     search: Optional[SearchResult] = None
+    #: Set when optimization *degraded*: the strategy failed and the initial
+    #: (untransformed) plan was chosen instead — correct by rule soundness,
+    #: just not cost-improved.  Holds ``"memo_search:<error code>"``; the
+    #: session counts it and flags the optimize trace span.
+    degraded: Optional[str] = None
 
     @property
     def plans_considered(self) -> int:
@@ -136,15 +143,34 @@ class TemporalQueryOptimizer:
         statistics: Optional[Mapping[str, int]],
         estimator=None,
     ) -> OptimizationOutcome:
-        search = MemoSearch(
-            rules=self.rules,
-            cost_model=self.cost_model,
-            options=self.search_options,
-            estimator=estimator,
-        ).optimize(initial_plan, query_spec, statistics)
         initial_cost = estimate_cost(
             initial_plan, statistics, self.cost_model, estimator=estimator
         )
+        # A memo-search failure degrades to the initial plan instead of
+        # failing the query: the translator's plan is a correct (if
+        # unimproved) answer, and the search is the most intricate machinery
+        # on the query path — exactly where robustness buys the most.
+        # Cancellation/deadline/budget errors mean "stop", not "the search
+        # is broken", and propagate.
+        try:
+            if FAULTS.active:
+                FAULTS.check("search.memo")
+            search = MemoSearch(
+                rules=self.rules,
+                cost_model=self.cost_model,
+                options=self.search_options,
+                estimator=estimator,
+            ).optimize(initial_plan, query_spec, statistics)
+        except (CancelledError, ResourceExhaustedError):
+            raise
+        except Exception as exc:
+            return OptimizationOutcome(
+                initial_plan=initial_plan,
+                chosen_plan=initial_plan,
+                chosen_cost=initial_cost,
+                initial_cost=initial_cost,
+                degraded=f"memo_search:{error_code(exc)}",
+            )
         return OptimizationOutcome(
             initial_plan=initial_plan,
             chosen_plan=search.best_plan,

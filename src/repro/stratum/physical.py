@@ -128,9 +128,17 @@ class StratumOperator:
     monotonic clock callable) before draining; the operator then also
     records ``started_at``/``elapsed_seconds`` — *inclusive* wall-clock
     from first pull to exhaustion, children included, the same convention
-    EXPLAIN ANALYZE timings use elsewhere.  The untimed path is the
-    default and costs exactly one extra branch per drain.
+    EXPLAIN ANALYZE timings use elsewhere.  When it runs under execution
+    control it assigns ``_control``
+    (:class:`~repro.faults.control.ExecutionControl`); the drain then ticks
+    the ``stratum.pull`` fault point — once at start and every
+    ``control.interval`` tuples — which is where cancellation, deadlines,
+    resource budgets and fault injection interpose.  The plain path is the
+    default and costs exactly two extra branches per drain.
     """
+
+    #: The fault point this layer's pull loops tick (see :mod:`repro.faults`).
+    FAULT_POINT = "stratum.pull"
 
     def __init__(
         self,
@@ -143,25 +151,31 @@ class StratumOperator:
         self.paths = paths
         self.rows_out: Optional[int] = None
         self._timer: Optional[Callable[[], float]] = None
+        self._control = None
         self.started_at: Optional[float] = None
         self.elapsed_seconds: Optional[float] = None
 
     def __iter__(self) -> Iterator[Tuple]:
-        if self._timer is None:
-            count = 0
+        clock = self._timer
+        control = self._control
+        if clock is not None:
+            self.started_at = clock()
+        count = 0
+        if control is None:
             for tup in self._iterate():
                 count += 1
                 yield tup
-            self.rows_out = count
-            return
-        clock = self._timer
-        self.started_at = clock()
-        count = 0
-        for tup in self._iterate():
-            count += 1
-            yield tup
+        else:
+            control.tick(self.FAULT_POINT)
+            interval = control.interval
+            for tup in self._iterate():
+                count += 1
+                if not count % interval:
+                    control.tick(self.FAULT_POINT)
+                yield tup
         self.rows_out = count
-        self.elapsed_seconds = clock() - self.started_at
+        if clock is not None:
+            self.elapsed_seconds = clock() - self.started_at
 
     def _iterate(self) -> Iterator[Tuple]:
         raise NotImplementedError

@@ -21,6 +21,7 @@ from ..core.expressions import (
     Parameter,
 )
 from ..core.order_spec import OrderSpec, SortDirection, SortKey
+from ..faults import FAULTS
 from .ast import AggregateItem, SelectBlock, SelectItem, SetCombinator, Statement
 from .lexer import Token, TokenType, tokenize
 
@@ -44,6 +45,8 @@ _AGGREGATE_KEYWORDS = {
 
 def parse_statement(text: str) -> Statement:
     """Parse ``text`` into a :class:`~repro.tsql.ast.Statement`."""
+    if FAULTS.active:
+        FAULTS.check("tsql.parse")
     return _Parser(tokenize(text)).parse_statement()
 
 

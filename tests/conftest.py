@@ -18,6 +18,16 @@ from repro.workloads import (
     project_relation,
 )
 
+@pytest.fixture(autouse=True)
+def _reset_faults():
+    """Disarm any fault left armed by a test — fault state is process-wide."""
+    yield
+    from repro.faults import FAULTS
+
+    if FAULTS.active:
+        FAULTS.reset()
+
+
 #: The paper's motivating statement, in the front end's temporal SQL dialect.
 PAPER_STATEMENT = (
     "SELECT DISTINCT EmpName FROM EMPLOYEE "

@@ -1,0 +1,263 @@
+"""In-flight deadlines, cooperative cancellation and resource guards."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.exceptions import (
+    CancelledError,
+    DeadlineExceededError,
+    ResourceExhaustedError,
+)
+from repro.faults import (
+    FAULTS,
+    CancellationToken,
+    ExecutionControl,
+    ResourceGuard,
+)
+from repro.server import Server
+from repro.session import Session
+from repro.workloads import employee_relation, project_relation
+
+
+class TestCancellationToken:
+    def test_fresh_token_checks_clean(self):
+        token = CancellationToken()
+        token.check()
+        assert token.cancelled is False
+        assert token.expired() is False
+
+    def test_cancel_makes_next_check_raise_with_reason(self):
+        token = CancellationToken()
+        token.cancel("client went away")
+        with pytest.raises(CancelledError, match="client went away"):
+            token.check()
+        assert token.cancelled is True
+
+    def test_deadline_expiry_raises_deadline_exceeded(self):
+        clock_value = [0.0]
+        token = CancellationToken(deadline=1.0, clock=lambda: clock_value[0])
+        token.check()
+        clock_value[0] = 1.5
+        assert token.expired() is True
+        with pytest.raises(DeadlineExceededError):
+            token.check()
+
+    def test_deadline_exceeded_is_a_cancelled_error(self):
+        # One except clause stops both kinds of stop request.
+        assert issubclass(DeadlineExceededError, CancelledError)
+
+    def test_cancel_from_another_thread_is_seen(self):
+        token = CancellationToken()
+        thread = threading.Thread(target=token.cancel)
+        thread.start()
+        thread.join()
+        with pytest.raises(CancelledError):
+            token.check()
+
+
+class TestResourceGuard:
+    def test_row_budget(self):
+        guard = ResourceGuard(max_rows=100)
+        guard.charge_rows(100)
+        with pytest.raises(ResourceExhaustedError, match="row budget"):
+            guard.charge_rows(1)
+
+    def test_byte_budget(self):
+        guard = ResourceGuard(max_bytes=1000)
+        guard.charge_bytes(1000)
+        with pytest.raises(ResourceExhaustedError, match="materialization budget"):
+            guard.charge_bytes(1)
+
+    def test_charge_relation_estimates_footprint(self):
+        guard = ResourceGuard(max_bytes=10)
+        with pytest.raises(ResourceExhaustedError):
+            guard.charge_relation(employee_relation())
+
+    def test_unbounded_guard_never_raises(self):
+        guard = ResourceGuard()
+        guard.charge_rows(10**9)
+        guard.charge_relation(employee_relation())
+        assert guard.rows == 10**9
+
+
+class TestExecutionControl:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionControl(interval=0)
+
+    def test_tick_checks_token_then_guard(self):
+        token = CancellationToken()
+        control = ExecutionControl(token=token, guard=ResourceGuard(max_rows=1), interval=128)
+        token.cancel()
+        # token wins over the guard at the same tick
+        with pytest.raises(CancelledError):
+            control.tick("stratum.pull")
+
+    def test_guarded_iterator_stops_within_one_interval(self):
+        token = CancellationToken()
+        control = ExecutionControl(token=token, interval=10)
+        pulled = []
+
+        def source():
+            for i in range(1000):
+                if i == 15:
+                    token.cancel()
+                yield i
+
+        with pytest.raises(CancelledError):
+            for item in control.guarded(source(), "dbms.scan"):
+                pulled.append(item)
+        # cancelled at tuple 15, next check at tuple 20: within one interval
+        assert 15 <= len(pulled) <= 20
+
+
+def make_database():
+    from repro.stratum import TemporalDatabase
+
+    database = TemporalDatabase()
+    database.register("EMPLOYEE", employee_relation())
+    database.register("PROJECT", project_relation())
+    return database
+
+
+class TestSessionCancellation:
+    def test_pre_cancelled_token_stops_before_parsing(self):
+        session = Session(make_database())
+        token = CancellationToken()
+        token.cancel("gone")
+        with pytest.raises(CancelledError):
+            session.execute("SELECT EmpName FROM EMPLOYEE", token=token)
+
+    def test_deadline_stops_mid_execution(self):
+        session = Session(make_database())
+        token = CancellationToken(deadline=time.perf_counter() + 0.05)
+        # a deliberately slow scan: injected stalls totalling ~2s
+        with FAULTS.armed("dbms.scan", kind="latency", latency=0.5, times=4):
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceededError):
+                session.execute("SELECT EmpName FROM EMPLOYEE", token=token)
+            wall = time.perf_counter() - started
+        # stopped well under the uncancelled runtime (≥ 2s of injected stall)
+        assert wall < 0.5, f"deadline ignored for {wall:.3f}s"
+
+    def test_row_guard_enforced_through_session(self):
+        session = Session(make_database())
+        guard = ResourceGuard(max_rows=1)
+        with pytest.raises(ResourceExhaustedError):
+            session.execute("SELECT EmpName FROM EMPLOYEE", guard=guard)
+
+    def test_byte_guard_enforced_through_session(self):
+        session = Session(make_database())
+        guard = ResourceGuard(max_bytes=10)
+        with pytest.raises(ResourceExhaustedError):
+            session.execute("SELECT EmpName FROM EMPLOYEE", guard=guard)
+
+    def test_token_without_pressure_changes_nothing(self):
+        session = Session(make_database())
+        token = CancellationToken(deadline=time.perf_counter() + 60.0)
+        result = session.execute(
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = ?", ("Sales",), token=token
+        )
+        assert {t["EmpName"] for t in result.relation.tuples} == {"Anna", "John"}
+
+
+class TestServerCancellation:
+    """The acceptance path: deadline and cancel end to end through the server."""
+
+    def test_slow_query_times_out_well_under_uncancelled_runtime(self):
+        server = Server(make_database(), max_concurrency=2)
+        with server:
+            with FAULTS.armed("dbms.scan", kind="latency", latency=0.5, times=4):
+                started = time.perf_counter()
+                response = server.query("SELECT EmpName FROM EMPLOYEE", timeout=0.05)
+                wall = time.perf_counter() - started
+            assert response.status == "timed_out"
+            assert response.code == "TIMED_OUT"
+            # ≥ 2s of injected stall, answered in a fraction of it
+            assert wall < 0.5, f"timed out too slowly: {wall:.3f}s"
+            # the worker survives and keeps serving
+            assert server.query("SELECT EmpName FROM EMPLOYEE").ok
+            stats = server.stats()
+            assert stats.timed_out == 1 and stats.worker_crashes == 0
+
+    def test_explicit_cancel_stops_a_running_query(self):
+        server = Server(make_database(), max_concurrency=2)
+        with server:
+            with FAULTS.armed("dbms.scan", kind="latency", latency=10.0, times=4):
+                future = server.submit("SELECT EmpName FROM EMPLOYEE")
+                time.sleep(0.05)  # let a worker pick it up and hit the stall
+                assert server.cancel(future.request_id) is True
+                response = future.result(timeout=5.0)
+            assert response.status == "cancelled"
+            assert response.code == "CANCELLED"
+            assert response.request_id == future.request_id
+            assert server.stats().cancelled == 1
+
+    def test_cancel_unknown_or_finished_request_returns_false(self):
+        server = Server(make_database(), max_concurrency=1)
+        with server:
+            response = server.query("SELECT EmpName FROM EMPLOYEE")
+            assert server.cancel(response.request_id) is False
+            assert server.cancel(987654) is False
+
+    def test_cancelled_while_queued_never_executes(self):
+        server = Server(make_database(), max_concurrency=1)
+        with server:
+            with FAULTS.armed("dbms.scan", kind="latency", latency=10.0, times=4):
+                blocker = server.submit("SELECT EmpName FROM EMPLOYEE")
+                queued = server.submit("SELECT EmpName FROM PROJECT")
+                time.sleep(0.05)
+                assert server.cancel(queued.request_id) is True
+                assert server.cancel(blocker.request_id) is True
+                blocked_response = blocker.result(timeout=5.0)
+                queued_response = queued.result(timeout=5.0)
+            assert blocked_response.status == "cancelled"
+            assert queued_response.status == "cancelled"
+            stats = server.stats()
+            assert stats.cancelled == 2 and stats.completed == 0
+
+    def test_deadline_expired_in_queue_still_answers_timed_out(self):
+        server = Server(make_database(), max_concurrency=1)
+        with server:
+            with FAULTS.armed("dbms.scan", kind="latency", latency=0.3, times=1):
+                blocker = server.submit("SELECT EmpName FROM EMPLOYEE")
+                stale = server.submit("SELECT EmpName FROM PROJECT", timeout=0.01)
+                assert blocker.result(timeout=5.0).ok
+                response = stale.result(timeout=5.0)
+            assert response.status == "timed_out" and response.code == "TIMED_OUT"
+
+    def test_cancellation_disabled_reverts_to_queue_deadline_only(self):
+        server = Server(make_database(), max_concurrency=1, cancellation=False)
+        with server:
+            future = server.submit("SELECT EmpName FROM EMPLOYEE")
+            assert server.cancel(future.request_id) is False  # no token registered
+            assert future.result(timeout=5.0).ok
+
+    def test_per_request_resource_budget(self):
+        server = Server(make_database(), max_concurrency=1, max_rows_per_request=2)
+        with server:
+            response = server.query("SELECT EmpName FROM EMPLOYEE")
+            assert response.status == "error"
+            assert response.code == "RESOURCE_EXHAUSTED"
+
+    def test_error_metrics_and_trace_marks(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        server = Server(make_database(), max_concurrency=1, tracer=tracer)
+        with server:
+            with FAULTS.armed("dbms.scan", kind="latency", latency=0.5, times=4):
+                server.query("SELECT EmpName FROM EMPLOYEE", timeout=0.05)
+        exposition = server.metrics_exposition()
+        assert 'repro_request_errors_total{code="TIMED_OUT"} 1' in exposition
+        failed = [
+            trace
+            for trace in tracer.recent()
+            if trace.root.attributes.get("error") is True
+        ]
+        assert failed, "the timed-out request must finish an error-marked trace"
+        assert failed[0].root.attributes["error_code"] == "TIMED_OUT"

@@ -1,0 +1,159 @@
+"""Graceful degradation: fall back, answer correctly, count it, flag it.
+
+Two degradation paths exist, and both are *differentially* tested — the
+degraded answer must be tuple-for-tuple identical to the healthy one,
+because a fallback that changes answers is a correctness bug wearing a
+robustness costume:
+
+* **memo-search failure** → the optimizer returns the default (initial)
+  plan, flagged ``OptimizationOutcome.degraded``;
+* **stratum physical-operator failure** → the failed pipelined region
+  re-executes through the reference evaluator, flagged in
+  ``StratumExecutionReport.degraded_operations``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import (
+    CancelledError,
+    ResourceExhaustedError,
+)
+from repro.faults import FAULTS, CancellationToken, ResourceGuard
+from repro.obs import MetricsRegistry, Tracer
+from repro.session import Session
+from repro.stratum import TemporalDatabase
+from repro.workloads import employee_relation, project_relation
+
+
+def make_database():
+    database = TemporalDatabase()
+    database.register("EMPLOYEE", employee_relation())
+    database.register("PROJECT", project_relation())
+    return database
+
+
+def rows_of(relation):
+    return sorted(tuple(t.values()) for t in relation.tuples)
+
+
+def same_answer(degraded, healthy) -> bool:
+    """Identical rows, or (for temporal results) snapshot-set equivalent.
+
+    The optimizer is *allowed* to return a differently-coalesced relation
+    when the statement's required equivalence type permits it (that freedom
+    is the paper's Section 3) — so the differential check compares at the
+    weakest guarantee both plans must honor, and exact rows otherwise.
+    """
+    if rows_of(degraded) == rows_of(healthy):
+        return True
+    from repro.core.equivalence import snapshot_set_equivalent
+
+    return snapshot_set_equivalent(degraded, healthy)
+
+
+STATEMENTS = [
+    "SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales'",
+    "SELECT DISTINCT EmpName FROM EMPLOYEE COALESCE",
+    (
+        "SELECT DISTINCT EmpName FROM EMPLOYEE "
+        "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+        "ORDER BY EmpName COALESCE"
+    ),
+]
+
+
+class TestMemoSearchDegradation:
+    @pytest.mark.parametrize("statement", STATEMENTS)
+    def test_default_plan_fallback_matches_optimized_answer(self, statement):
+        healthy = Session(make_database()).execute(statement)
+        degraded_session = Session(make_database())
+        with FAULTS.armed("search.memo", times=1):
+            degraded = degraded_session.execute(statement)
+        assert degraded.optimization.degraded == "memo_search:FAULT_INJECTED"
+        assert healthy.optimization.degraded is None
+        assert same_answer(degraded.relation, healthy.relation)
+
+    def test_degraded_outcome_reports_initial_plan_as_chosen(self):
+        session = Session(make_database())
+        with FAULTS.armed("search.memo", times=1):
+            result = session.execute(STATEMENTS[2])
+        outcome = result.optimization
+        assert outcome.chosen_plan is outcome.initial_plan
+        assert outcome.chosen_cost == outcome.initial_cost
+
+    def test_memo_degradation_counted_and_flagged_on_trace(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        session = Session(make_database(), tracer=tracer, metrics=metrics)
+        with FAULTS.armed("search.memo", times=1):
+            session.execute(STATEMENTS[1])
+        assert 'repro_degraded_total{stage="memo_search"} 1' in metrics.exposition()
+        (trace,) = tracer.recent(1)
+        optimize_spans = [s for s in trace.root.children if s.name == "optimize"]
+        assert optimize_spans[0].attributes["degraded"] == "memo_search:FAULT_INJECTED"
+
+    def test_next_statement_recovers_fully(self):
+        session = Session(make_database())
+        with FAULTS.armed("search.memo", times=1):
+            session.execute(STATEMENTS[0])
+        result = session.execute(STATEMENTS[1])
+        assert result.optimization.degraded is None
+
+
+class TestStratumPhysicalDegradation:
+    def test_reference_fallback_matches_pipelined_answer(self):
+        statement = STATEMENTS[2]
+        healthy = Session(make_database()).execute(statement)
+        with FAULTS.armed("stratum.pull", times=1):
+            degraded = Session(make_database()).execute(statement)
+        assert degraded.report.degraded_operations
+        assert not healthy.report.degraded_operations
+        assert rows_of(degraded.relation) == rows_of(healthy.relation)
+
+    def test_degradation_entry_names_operator_path_and_code(self):
+        with FAULTS.armed("stratum.pull", times=1):
+            result = Session(make_database()).execute(STATEMENTS[2])
+        entry = result.report.degraded_operations[0]
+        assert " at " in entry and entry.endswith("FAULT_INJECTED")
+
+    def test_stratum_degradation_counted_and_flagged_on_trace(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        session = Session(make_database(), tracer=tracer, metrics=metrics)
+        with FAULTS.armed("stratum.pull", times=1):
+            session.execute(STATEMENTS[2])
+        assert 'repro_degraded_total{stage="stratum_physical"} 1' in metrics.exposition()
+        (trace,) = tracer.recent(1)
+        execute_spans = [s for s in trace.root.children if s.name == "execute"]
+        assert execute_spans[0].attributes["degraded"]
+
+    def test_repeated_faults_degrade_repeatedly_with_identical_answers(self):
+        statement = STATEMENTS[2]
+        healthy_rows = rows_of(Session(make_database()).execute(statement).relation)
+        session = Session(make_database())
+        with FAULTS.armed("stratum.pull", times=3):
+            first = session.execute(statement)
+        assert first.report.degraded_operations
+        assert rows_of(first.relation) == healthy_rows
+        # fault exhausted: back on the fast path, same answer
+        second = session.execute(statement)
+        assert not second.report.degraded_operations
+        assert rows_of(second.relation) == healthy_rows
+
+
+class TestDegradationNeverMasksControl:
+    """Cancellation and budgets must stop the query, not trigger a fallback."""
+
+    def test_cancellation_is_not_degraded_away(self):
+        session = Session(make_database())
+        token = CancellationToken()
+        token.cancel("stop")
+        with pytest.raises(CancelledError):
+            session.execute(STATEMENTS[2], token=token)
+
+    def test_resource_exhaustion_is_not_degraded_away(self):
+        session = Session(make_database())
+        with pytest.raises(ResourceExhaustedError):
+            session.execute(STATEMENTS[2], guard=ResourceGuard(max_rows=1))

@@ -46,6 +46,7 @@ def test_site_builds_with_no_broken_links(tmp_path):
         "explain.html",
         "server.html",
         "observability.html",
+        "robustness.html",
         "api/session.html",
         "api/temporaldatabase.html",
         "api/memosearch.html",
@@ -53,6 +54,8 @@ def test_site_builds_with_no_broken_links(tmp_path):
         "api/server.html",
         "api/tracer.html",
         "api/metricsregistry.html",
+        "api/faultregistry.html",
+        "api/cancellationtoken.html",
     } <= built
 
 

@@ -49,11 +49,11 @@ def blockable(monkeypatch):
     release = threading.Event()
     real_execute = Session.execute
 
-    def execute(self, statement, params=(), snapshot=None):
+    def execute(self, statement, params=(), snapshot=None, **kwargs):
         if statement == BLOCK_MARKER:
             assert release.wait(timeout=30.0), "test never released the workers"
             raise ValueError("block marker completed")
-        return real_execute(self, statement, params, snapshot=snapshot)
+        return real_execute(self, statement, params, snapshot=snapshot, **kwargs)
 
     monkeypatch.setattr(Session, "execute", execute)
     yield release
