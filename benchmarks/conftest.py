@@ -14,6 +14,7 @@ import pytest
 
 sys.path.insert(0, str(__import__("pathlib").Path(__file__).resolve().parent.parent / "src"))
 
+from repro import ExecutionOptions
 from repro.stratum import TemporalDatabase, TemporalQueryOptimizer
 from repro.workloads import (
     PAPER_SQL,
@@ -31,7 +32,7 @@ def make_paper_database(optimize_queries: bool = True, max_plans: int = 2000) ->
     """A TemporalDatabase loaded with the Figure 1 relations."""
     database = TemporalDatabase(
         optimizer=TemporalQueryOptimizer(max_plans=max_plans),
-        optimize_queries=optimize_queries,
+        options=ExecutionOptions(optimize_queries=optimize_queries),
     )
     database.register("EMPLOYEE", employee_relation())
     database.register("PROJECT", project_relation())
@@ -43,7 +44,7 @@ def make_scaled_database(scale: int, optimize_queries: bool = True, max_plans: i
     employees, projects = scaled_paper_workload(scale)
     database = TemporalDatabase(
         optimizer=TemporalQueryOptimizer(max_plans=max_plans),
-        optimize_queries=optimize_queries,
+        options=ExecutionOptions(optimize_queries=optimize_queries),
     )
     database.register("EMPLOYEE", employees)
     database.register("PROJECT", projects)

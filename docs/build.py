@@ -38,6 +38,7 @@ REPO_ROOT = DOCS_DIR.parent
 
 #: The public surface the API reference documents: page name -> dotted path.
 API_SURFACE = {
+    "execution_options": "repro.options.ExecutionOptions",
     "session": "repro.session.session.Session",
     "temporaldatabase": "repro.stratum.layer.TemporalDatabase",
     "memosearch": "repro.search.search.MemoSearch",

@@ -19,6 +19,7 @@ Run with::
 
 import time
 
+from repro import ExecutionOptions
 from repro.stratum import TemporalDatabase, TemporalQueryOptimizer
 from repro.workloads import scaled_paper_workload
 
@@ -32,7 +33,8 @@ QUERY = (
 def run(scale: int, optimize: bool):
     employees, projects = scaled_paper_workload(scale)
     database = TemporalDatabase(
-        optimizer=TemporalQueryOptimizer(max_plans=300), optimize_queries=optimize
+        optimizer=TemporalQueryOptimizer(max_plans=300),
+        options=ExecutionOptions(optimize_queries=optimize),
     )
     database.register("EMPLOYEE", employees)
     database.register("PROJECT", projects)

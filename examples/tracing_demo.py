@@ -19,6 +19,7 @@ Run with::
 import json
 from pathlib import Path
 
+from repro import ExecutionOptions
 from repro.obs import Tracer
 from repro.session import Session
 from repro.workloads import PAPER_SQL, employee_relation, project_relation
@@ -37,7 +38,7 @@ def print_span(span, depth: int = 0) -> None:
 
 def main() -> None:
     tracer = Tracer()
-    session = Session(tracer=tracer)
+    session = Session(options=ExecutionOptions(tracer=tracer))
     session.database.register("EMPLOYEE", employee_relation())
     session.database.register("PROJECT", project_relation())
 

@@ -62,10 +62,10 @@ coalescing.  This package implements that foundation end to end:
 
 Quick start::
 
-    from repro import TemporalDatabase
+    import repro
     from repro.workloads import employee_relation, project_relation
 
-    db = TemporalDatabase()
+    db = repro.connect()
     db.register("EMPLOYEE", employee_relation())
     db.register("PROJECT", project_relation())
     result = db.query(
@@ -74,14 +74,56 @@ Quick start::
         "ORDER BY EmpName COALESCE"
     )
     print(result.to_table())
+
+**The public surface.**  The blessed entry points are the names in
+``__all__`` below: :func:`connect`, :class:`ExecutionOptions`,
+:class:`TemporalDatabase`, :class:`Session`, :class:`Relation`,
+:class:`RelationSchema`, :class:`Tuple` and friends — everything execution
+takes as configuration rides in one frozen :class:`ExecutionOptions`.
+Modules whose name starts with an underscore (``repro._legacy``) are
+internal: no deprecation period applies to them, and new internal modules
+follow the same leading-underscore convention.  ``from repro.core import *``
+re-exports remain importable for backward compatibility.
 """
+
+from typing import Optional
 
 from . import core
 from .core import *  # noqa: F401,F403 - the core API is the package API
+from .core import Relation, RelationSchema, Tuple  # noqa: F401 - blessed names
 from .core import __all__ as _core_all
+from .options import DEFAULT_BATCH_SIZE, ExecutionOptions
 from .stratum import TemporalDatabase
 from .session import Session
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["Session", "TemporalDatabase", "__version__"] + list(_core_all)
+
+def connect(options: Optional[ExecutionOptions] = None) -> TemporalDatabase:
+    """The one-call entry point: a :class:`TemporalDatabase` wired from ``options``.
+
+    ``repro.connect()`` gives the defaults; pass an
+    :class:`ExecutionOptions` to turn knobs::
+
+        db = repro.connect(repro.ExecutionOptions(use_statistics=True))
+
+    Sessions created via :meth:`TemporalDatabase.session` (and servers
+    constructed over the database) inherit the same options.
+    """
+    return TemporalDatabase(options=options)
+
+
+#: The blessed public API, in suggested-reading order; the trailing
+#: ``core`` re-exports (operations, expressions, …) stay importable for
+#: backward compatibility.
+__all__ = [
+    "connect",
+    "ExecutionOptions",
+    "DEFAULT_BATCH_SIZE",
+    "TemporalDatabase",
+    "Session",
+    "Relation",
+    "RelationSchema",
+    "Tuple",
+    "__version__",
+] + [name for name in _core_all if name not in {"Relation", "RelationSchema", "Tuple"}]

@@ -1,0 +1,60 @@
+"""Deprecation shim folding legacy constructor keywords into options.
+
+Pre-``ExecutionOptions`` code configured execution through per-constructor
+keywords (``TemporalDatabase(use_statistics=True)``, ``Session(tracer=t)``,
+``Server(cancellation=False)``).  Those keywords keep working: each
+constructor routes them through :func:`resolve_options`, which folds every
+supplied legacy keyword into the (possibly given) ``ExecutionOptions`` and
+emits exactly **one** :class:`DeprecationWarning` per constructor call,
+naming everything that should move.
+
+Internal code must not take this path: importing this module anywhere in
+``src/repro`` other than the three shimmed constructors is banned by the
+repository's ruff configuration (``TID251``), so the deprecated surface
+cannot silently grow new internal callers.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Optional
+
+from .options import ExecutionOptions
+
+
+class _Unset:
+    """Sentinel distinguishing "keyword not passed" from an explicit value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+#: The sentinel default of every shimmed legacy keyword.
+UNSET: Any = _Unset()
+
+
+def resolve_options(
+    owner: str, options: Optional[ExecutionOptions], **legacy: Any
+) -> ExecutionOptions:
+    """Merge legacy keyword arguments into an :class:`ExecutionOptions`.
+
+    ``legacy`` maps option-field names to the values the constructor
+    received, :data:`UNSET` for keywords the caller did not pass.  Supplied
+    keywords override the corresponding ``options`` fields and trigger one
+    deprecation warning listing all of them; with no supplied keywords this
+    is just ``options`` (or the defaults), warning-free.
+    """
+    supplied = {name: value for name, value in legacy.items() if value is not UNSET}
+    base = options if options is not None else ExecutionOptions()
+    if not supplied:
+        return base
+    names = ", ".join(sorted(supplied))
+    warnings.warn(
+        f"{owner}({names}=...) is deprecated; pass "
+        f"options=ExecutionOptions({names}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return base.replace(**supplied)

@@ -30,6 +30,14 @@ from .tuples import Tuple
 #: A compiled expression: a closure evaluating one tuple.
 CompiledExpression = Callable[[Tuple], Any]
 
+#: A batch of columns: one value sequence per schema attribute, all of equal
+#: length (the :class:`repro.stratum.columnar.ColumnBatch` layout).
+BatchColumns = Sequence[Sequence[Any]]
+
+#: A compiled batch kernel: ``kernel(columns, count)`` returns a sequence of
+#: ``count`` results, one per row of the batch.
+BatchKernel = Callable[[BatchColumns, int], Sequence[Any]]
+
 
 class Expression:
     """Base class of all scalar expressions."""
@@ -55,6 +63,27 @@ class Expression:
         """
         return self.evaluate
 
+    def compile_batch(self, schema: "RelationSchemaLike") -> BatchKernel:
+        """Compile the expression into a column-wise kernel.
+
+        The kernel maps a batch of columns (in ``schema`` attribute order) to
+        a sequence of per-row results — the same values, raising the same
+        exceptions, as applying :meth:`evaluate` row by row.  Every concrete
+        expression overrides this with a vectorized implementation; the base
+        fallback materializes one trusted tuple per row so that any future
+        expression class is batch-correct by default, merely not fast.
+        """
+        evaluate = self.compile(schema)
+        trusted = Tuple.trusted
+
+        def kernel(columns: BatchColumns, count: int) -> Sequence[Any]:
+            return [
+                evaluate(trusted(schema, tuple(column[i] for column in columns)))
+                for i in range(count)
+            ]
+
+        return kernel
+
     def to_sql(self) -> str:
         """Render the expression as SQL text for the DBMS substrate."""
         raise NotImplementedError
@@ -69,25 +98,42 @@ RelationSchemaLike = Any
 
 
 def positional_guard(
-    schema: RelationSchemaLike, compiled: CompiledExpression, fallback: CompiledExpression
+    schema: RelationSchemaLike,
+    compiled: CompiledExpression,
+    fallback: CompiledExpression,
+    recompile: Optional[Callable[[RelationSchemaLike], CompiledExpression]] = None,
 ) -> CompiledExpression:
     """Wrap a positionally compiled closure with a per-tuple order check.
 
     Positionally compiled closures require the tuple's attribute order to
     match the compile-time schema.  Relations only guarantee attribute-*set*
     equality, so the returned closure checks the order (an identity check in
-    the common case of a shared schema object) and uses ``fallback`` —
-    name-based access — for permuted tuples.  The single authoritative
-    implementation of the guard every physical operator relies on for
-    list-compatibility.
+    the common case of a shared schema object) and falls back to name-based
+    access for permuted tuples.  The single authoritative implementation of
+    the guard every physical operator relies on for list-compatibility.
+
+    When ``recompile`` is given, the permuted path compiles a positional
+    closure for each attribute order it encounters and caches it keyed by the
+    attribute tuple — so a relation full of permuted tuples pays one tree
+    re-resolution per distinct order plus one dict hit per tuple, instead of
+    re-resolving every attribute by name for every tuple.  ``fallback`` (pure
+    name-based evaluation) remains the last resort when no recompiler is
+    supplied.
     """
     attributes = schema.attributes
+    variants: Dict[PyTuple[str, ...], CompiledExpression] = {}
 
     def evaluate(tup: Tuple) -> Any:
         tup_schema = tup.schema
         if tup_schema is schema or tup_schema.attributes == attributes:
             return compiled(tup)
-        return fallback(tup)
+        if recompile is None:
+            return fallback(tup)
+        key = tup_schema.attributes
+        variant = variants.get(key)
+        if variant is None:
+            variant = variants[key] = recompile(tup_schema)
+        return variant(tup)
 
     return evaluate
 
@@ -98,10 +144,14 @@ def guarded_compile(
     """Compile against ``schema`` with the :func:`positional_guard` fallback.
 
     This is what the physical operators of both engines use for predicates
-    and projection items.
+    and projection items.  Permuted tuple orders are handled by recompiling
+    the expression positionally once per distinct order (cached inside the
+    guard), not by per-tuple name resolution.
     """
     target = expression.expression if isinstance(expression, ProjectionItem) else expression
-    return positional_guard(schema, target.compile(schema), target.evaluate)
+    return positional_guard(
+        schema, target.compile(schema), target.evaluate, recompile=target.compile
+    )
 
 
 @dataclass(frozen=True)
@@ -126,6 +176,19 @@ class AttributeRef(Expression):
             return lambda tup: tup.values()[index]
         return self.evaluate
 
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        if not schema.has_attribute(self.name):
+            name, target = self.name, schema
+
+            def missing(columns: BatchColumns, count: int) -> Sequence[Any]:
+                raise AttributeNotFound(
+                    f"attribute {name!r} not found in schema {target}"
+                )
+
+            return missing
+        index = schema.index_of(self.name)
+        return lambda columns, count: columns[index]
+
     def to_sql(self) -> str:
         return _quote_identifier(self.name)
 
@@ -148,6 +211,10 @@ class Literal(Expression):
     def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
         value = self.value
         return lambda tup: value
+
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        value = self.value
+        return lambda columns, count: [value] * count
 
     def to_sql(self) -> str:
         if isinstance(self.value, str):
@@ -181,6 +248,14 @@ class Parameter(Expression):
         raise EvaluationError(
             f"parameter ?{self.index + 1} is unbound; pass params=... when executing"
         )
+
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        def unbound(columns: BatchColumns, count: int) -> Sequence[Any]:
+            raise EvaluationError(
+                f"parameter ?{self.index + 1} is unbound; pass params=... when executing"
+            )
+
+        return unbound
 
     def to_sql(self) -> str:
         return "?"
@@ -245,6 +320,21 @@ class Comparison(Expression):
 
         return evaluate
 
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        left = self.left.compile_batch(schema)
+        right = self.right.compile_batch(schema)
+        compare = _COMPARISON_FUNCTIONS[self.operator]
+
+        def kernel(columns: BatchColumns, count: int) -> Sequence[Any]:
+            left_values = left(columns, count)
+            right_values = right(columns, count)
+            try:
+                return [compare(lv, rv) for lv, rv in zip(left_values, right_values)]
+            except TypeError as exc:
+                raise EvaluationError(f"cannot evaluate comparison {self}: {exc}") from exc
+
+        return kernel
+
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} {self.operator.value} {self.right.to_sql()})"
 
@@ -280,6 +370,33 @@ class And(Expression):
             return True
 
         return evaluate
+
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        kernels = tuple(operand.compile_batch(schema) for operand in self.operands)
+
+        def kernel(columns: BatchColumns, count: int) -> Sequence[Any]:
+            # Selection-vector short-circuit: later operands only see the rows
+            # every earlier operand accepted, mirroring the per-tuple
+            # short-circuit (including which rows ever get evaluated).
+            active = None  # None means "all rows", avoiding a slice per level
+            for operand in kernels:
+                if active is None:
+                    values = operand(columns, count)
+                    active = [i for i in range(count) if values[i]]
+                else:
+                    sliced = [_gather(column, active) for column in columns]
+                    values = operand(sliced, len(active))
+                    active = [i for i, v in zip(active, values) if v]
+                if not active:
+                    break
+            if active is None:  # zero operands: the empty conjunction is true
+                return [True] * count
+            result = [False] * count
+            for i in active:
+                result[i] = True
+            return result
+
+        return kernel
 
     def to_sql(self) -> str:
         return "(" + " AND ".join(op.to_sql() for op in self.operands) + ")"
@@ -317,6 +434,39 @@ class Or(Expression):
 
         return evaluate
 
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        kernels = tuple(operand.compile_batch(schema) for operand in self.operands)
+
+        def kernel(columns: BatchColumns, count: int) -> Sequence[Any]:
+            # Dual of the conjunction kernel: later operands only see the rows
+            # every earlier operand rejected.
+            pending = None
+            result = [False] * count
+            for operand in kernels:
+                if pending is None:
+                    values = operand(columns, count)
+                    pending = []
+                    for i in range(count):
+                        if values[i]:
+                            result[i] = True
+                        else:
+                            pending.append(i)
+                else:
+                    sliced = [_gather(column, pending) for column in columns]
+                    values = operand(sliced, len(pending))
+                    still_pending = []
+                    for i, v in zip(pending, values):
+                        if v:
+                            result[i] = True
+                        else:
+                            still_pending.append(i)
+                    pending = still_pending
+                if not pending:
+                    break
+            return result
+
+        return kernel
+
     def to_sql(self) -> str:
         return "(" + " OR ".join(op.to_sql() for op in self.operands) + ")"
 
@@ -339,6 +489,14 @@ class Not(Expression):
     def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
         operand = self.operand.compile(schema)
         return lambda tup: not operand(tup)
+
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        operand = self.operand.compile_batch(schema)
+
+        def kernel(columns: BatchColumns, count: int) -> Sequence[Any]:
+            return [not v for v in operand(columns, count)]
+
+        return kernel
 
     def to_sql(self) -> str:
         return f"(NOT {self.operand.to_sql()})"
@@ -394,11 +552,28 @@ class Arithmetic(Expression):
         apply = _ARITHMETIC_FUNCTIONS[self.operator]
         return lambda tup: apply(left(tup), right(tup))
 
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        left = self.left.compile_batch(schema)
+        right = self.right.compile_batch(schema)
+        apply = _ARITHMETIC_FUNCTIONS[self.operator]
+
+        def kernel(columns: BatchColumns, count: int) -> Sequence[Any]:
+            return [
+                apply(lv, rv) for lv, rv in zip(left(columns, count), right(columns, count))
+            ]
+
+        return kernel
+
     def to_sql(self) -> str:
         return f"({self.left.to_sql()} {self.operator.value} {self.right.to_sql()})"
 
     def __str__(self) -> str:
         return f"({self.left} {self.operator.value} {self.right})"
+
+
+def _gather(column: Sequence[Any], indexes: Sequence[int]) -> Sequence[Any]:
+    """Select ``column[i]`` for each selected row index, in order."""
+    return [column[i] for i in indexes]
 
 
 # ---------------------------------------------------------------------------
@@ -492,6 +667,10 @@ class ProjectionItem:
     def compile(self, schema: Optional[RelationSchemaLike] = None) -> CompiledExpression:
         """Compile the item's expression (see :meth:`Expression.compile`)."""
         return self.expression.compile(schema)
+
+    def compile_batch(self, schema: RelationSchemaLike) -> BatchKernel:
+        """Compile the item's expression column-wise (see :meth:`Expression.compile_batch`)."""
+        return self.expression.compile_batch(schema)
 
     def to_sql(self) -> str:
         sql = self.expression.to_sql()

@@ -39,6 +39,25 @@ ASC = SortDirection.ASC
 DESC = SortDirection.DESC
 
 
+class _Reversed:
+    """Reversing comparator wrapper implementing DESC sort keys.
+
+    Wrapping (rather than negating) keeps heterogeneous, non-negatable
+    values sortable; shared by the tuple-at-a-time and columnar sort paths.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
 @dataclass(frozen=True)
 class SortKey:
     """A single ``attribute ASC|DESC`` entry of an order specification."""
@@ -218,18 +237,6 @@ class OrderSpec:
         """
         keys = self._keys
 
-        class _Reversed:
-            __slots__ = ("value",)
-
-            def __init__(self, value: Any) -> None:
-                self.value = value
-
-            def __lt__(self, other: "_Reversed") -> bool:
-                return other.value < self.value
-
-            def __eq__(self, other: object) -> bool:
-                return isinstance(other, _Reversed) and other.value == self.value
-
         def key_fn(tup: "ReproTuple") -> Tuple:
             parts: List[Any] = []
             for sort_key in keys:
@@ -240,6 +247,34 @@ class OrderSpec:
                 value = tup[sort_key.attribute]
                 parts.append(value if sort_key.direction is ASC else _Reversed(value))
             return tuple(parts)
+
+        return key_fn
+
+    def positional_key(
+        self, attributes: Sequence[str]
+    ) -> Callable[[Sequence[Any]], Tuple]:
+        """Return a key function over value rows in ``attributes`` order.
+
+        The columnar sort resolves each sort attribute to its position once
+        per batch drain instead of once per tuple; the returned function maps
+        a row (the values of one tuple in ``attributes`` order) to the same
+        comparison key :meth:`comparison_key` would produce for that tuple.
+        Raises :class:`AttributeNotFound` at build time when a sort attribute
+        is missing, matching what per-tuple evaluation raises on first use.
+        """
+        resolved: List[Tuple[int, SortDirection]] = []
+        for sort_key in self._keys:
+            if sort_key.attribute not in attributes:
+                raise AttributeNotFound(
+                    f"sort key {sort_key.attribute!r} not in attributes {attributes!r}"
+                )
+            resolved.append((attributes.index(sort_key.attribute), sort_key.direction))
+
+        def key_fn(row: Sequence[Any]) -> Tuple:
+            return tuple(
+                row[index] if direction is ASC else _Reversed(row[index])
+                for index, direction in resolved
+            )
 
         return key_fn
 

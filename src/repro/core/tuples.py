@@ -59,6 +59,24 @@ class Tuple:
             )
         return cls(schema, dict(zip(schema.attributes, values)))
 
+    @classmethod
+    def trusted(cls, schema: RelationSchema, values: PyTuple[Any, ...]) -> "Tuple":
+        """Build a tuple from already-validated values in schema order.
+
+        Skips the domain, arity and period checks of ``__init__``.  The caller
+        guarantees ``values`` came out of tuples that were validated at their
+        own construction — the columnar executor uses this at operator-tree
+        boundaries, where every value was sliced out of an input ``Tuple`` or
+        produced by a kernel over such values, so re-validating each chunk
+        would only re-prove what construction already proved.
+        """
+        tup = cls.__new__(cls)
+        tup._schema = schema
+        tup._values = values
+        tup._value_part = None
+        tup._hash = None
+        return tup
+
     # -- access ----------------------------------------------------------------
 
     @property

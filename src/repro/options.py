@@ -1,0 +1,120 @@
+"""`ExecutionOptions` — the one configuration object of the public API.
+
+Nine PRs of growth left execution configuration scattered over constructor
+keywords: ``TemporalDatabase(use_statistics=)``, ``Session(tracer=,
+metrics=, slow_query_seconds=)``, ``Server(cancellation=,
+max_rows_per_request=)``, …  This module consolidates all of it into one
+frozen dataclass accepted by :class:`~repro.stratum.layer.TemporalDatabase`,
+:class:`~repro.session.session.Session` and
+:class:`~repro.server.server.Server` as ``options=``; the old keywords keep
+working through a deprecation shim (:mod:`repro._legacy`) that folds them
+into an ``ExecutionOptions`` with a single :class:`DeprecationWarning`.
+
+The module is deliberately a leaf: it imports nothing from the rest of the
+package, so every layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Default rows per columnar chunk — re-declared here (not imported from
+#: :mod:`repro.stratum.columnar`) to keep this module dependency-free; a
+#: regression test asserts the two constants agree.
+DEFAULT_BATCH_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Execution configuration shared by database, session and server.
+
+    Construct once, pass everywhere: ``repro.connect(ExecutionOptions(...))``
+    wires a :class:`~repro.stratum.layer.TemporalDatabase` from it, sessions
+    created via :meth:`~repro.stratum.layer.TemporalDatabase.session` inherit
+    it, and :class:`~repro.server.server.Server` applies it to every worker
+    session.  Instances are frozen (hashable, safely shared across threads);
+    derive variants with :meth:`replace`.
+
+    **Migration from legacy keyword arguments**
+
+    | Legacy keyword | Constructor | ExecutionOptions field |
+    | --- | --- | --- |
+    | ``use_statistics=`` | ``TemporalDatabase`` | ``use_statistics`` |
+    | ``optimize_queries=`` | ``TemporalDatabase`` | ``optimize_queries`` |
+    | ``tracer=`` | ``Session``, ``Server`` | ``tracer`` |
+    | ``metrics=`` | ``Session``, ``Server`` | ``metrics`` |
+    | ``slow_query_seconds=`` | ``Session``, ``Server`` | ``slow_query_seconds`` |
+    | ``slow_query_logger=`` | ``Session`` | ``slow_query_logger`` |
+    | ``cancellation=`` | ``Server`` | ``cancellation`` |
+    | ``max_rows_per_request=`` | ``Server`` | ``max_rows_per_request`` |
+    | ``max_bytes_per_request=`` | ``Server`` | ``max_bytes_per_request`` |
+
+    The legacy keywords still work (folded into an ``ExecutionOptions`` with
+    one ``DeprecationWarning`` per constructor call); pool-shape arguments —
+    ``Server(max_concurrency=, queue_limit=, request_timeout=, cache_size=)``
+    and ``Session(cache_size=, cache=)`` — describe the *container*, not the
+    execution of one query, and stay constructor arguments.
+
+    Fields:
+
+    * ``use_statistics`` — collect table statistics and feed the
+      histogram-backed cardinality estimator into the optimizer.
+    * ``optimize_queries`` — run the cost-based optimizer (off: execute the
+      translated plan as-is; useful in benchmarks and tests).
+    * ``strategy`` — plan-search strategy, ``"memo"`` (default) or
+      ``"exhaustive"`` (validated by the optimizer).
+    * ``batch_size`` — rows per columnar chunk in the stratum's physical
+      engine; ``None`` selects the tuple-at-a-time pipeline.
+    * ``tracer`` — a :class:`~repro.obs.trace.Tracer` for structured
+      per-request traces (``None``: tracing off).
+    * ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry`; the
+      server defaults to a private registry when ``None``.
+    * ``slow_query_seconds`` / ``slow_query_logger`` — slow-query-log
+      threshold and sink.
+    * ``cancellation`` — create per-request cancellation tokens in the
+      server.
+    * ``max_rows_per_request`` / ``max_bytes_per_request`` — per-request
+      resource budgets enforced by the execution-control ticks.
+    """
+
+    use_statistics: bool = False
+    optimize_queries: bool = True
+    strategy: str = "memo"
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE
+    tracer: Optional[Any] = None
+    metrics: Optional[Any] = None
+    slow_query_seconds: Optional[float] = None
+    slow_query_logger: Optional[Any] = None
+    cancellation: bool = True
+    max_rows_per_request: Optional[int] = None
+    max_bytes_per_request: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be a positive integer or None")
+
+    def replace(self, **changes: Any) -> "ExecutionOptions":
+        """A copy with the given fields replaced (the instance is frozen).
+
+        ``ExecutionOptions(tracer=t).replace(batch_size=64)`` is the idiom
+        for deriving per-call variants from a shared base configuration.
+        """
+        return dataclasses.replace(self, **changes)
+
+    def non_defaults(self) -> Dict[str, Any]:
+        """The fields that differ from the defaults, as a dict.
+
+        Useful for logging which knobs a deployment actually turned: the
+        returned dict is empty for ``ExecutionOptions()``.
+        """
+        defaults = _DEFAULTS
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+            if getattr(self, field.name) != getattr(defaults, field.name)
+        }
+
+
+_DEFAULTS = ExecutionOptions()

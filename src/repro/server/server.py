@@ -33,12 +33,14 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Sequence
 
+from .._legacy import UNSET, resolve_options
 from ..core.exceptions import (
     CancelledError,
     DeadlineExceededError,
     ReproError,
     error_code,
 )
+from ..options import ExecutionOptions
 from ..core.relation import Relation
 from ..faults import FAULTS, CancellationToken, ResourceGuard
 from ..obs.metrics import MetricsRegistry
@@ -166,18 +168,38 @@ class Server:
         request_timeout: Optional[float] = None,
         cache_size: int = 512,
         plan_cache: Optional[PlanCache] = None,
-        metrics: Optional[MetricsRegistry] = None,
-        tracer: Optional[Tracer] = None,
-        slow_query_seconds: Optional[float] = None,
-        cancellation: bool = True,
-        max_rows_per_request: Optional[int] = None,
-        max_bytes_per_request: Optional[int] = None,
+        metrics=UNSET,
+        tracer=UNSET,
+        slow_query_seconds=UNSET,
+        cancellation=UNSET,
+        max_rows_per_request=UNSET,
+        max_bytes_per_request=UNSET,
+        options: Optional[ExecutionOptions] = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be at least 1")
         if queue_limit is not None and queue_limit < 1:
             raise ValueError("queue_limit must be at least 1 (or None for unbounded)")
-        self.database = database or TemporalDatabase()
+        #: Execution configuration applied to every worker session (and,
+        #: when the server creates its own database, to the database too).
+        #: The per-field keywords above are a deprecated shim; pool-shape
+        #: arguments (``max_concurrency``, ``queue_limit``,
+        #: ``request_timeout``, ``cache_size``, ``plan_cache``) describe the
+        #: container and stay constructor arguments.
+        resolved = resolve_options(
+            "Server",
+            options,
+            metrics=metrics,
+            tracer=tracer,
+            slow_query_seconds=slow_query_seconds,
+            cancellation=cancellation,
+            max_rows_per_request=max_rows_per_request,
+            max_bytes_per_request=max_bytes_per_request,
+        )
+        if options is None and not resolved.non_defaults() and database is not None:
+            resolved = database.options
+        self.options = resolved
+        self.database = database or TemporalDatabase(options=resolved)
         self.max_concurrency = max_concurrency
         self.queue_limit = queue_limit
         #: Default request deadline in seconds (``None``: no deadline).
@@ -192,12 +214,12 @@ class Server:
         #: every request: deadlines hold mid-execution and
         #: :meth:`cancel`/``{"op": "cancel"}`` work.  Off, the serving path
         #: is control-free end to end — the overhead-benchmark baseline.
-        self.cancellation = cancellation
+        self.cancellation = resolved.cancellation
         #: Per-request resource budgets (rows pulled / bytes materialized);
         #: ``None`` means unbounded.  Enforced on the same cooperative hook
         #: as cancellation, answering ``RESOURCE_EXHAUSTED``.
-        self.max_rows_per_request = max_rows_per_request
-        self.max_bytes_per_request = max_bytes_per_request
+        self.max_rows_per_request = resolved.max_rows_per_request
+        self.max_bytes_per_request = resolved.max_bytes_per_request
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
         #: The serving counters live in a :class:`MetricsRegistry`, which is
         #: the single source of truth: :meth:`stats` reads the same
@@ -205,12 +227,12 @@ class Server:
         #: never disagree.  The default is a *per-server* registry (tests
         #: run many servers in one process); pass :data:`repro.obs.REGISTRY`
         #: to publish process-wide instead.
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics = resolved.metrics if resolved.metrics is not None else MetricsRegistry()
         #: Request tracing is off unless a tracer is injected; worker
         #: sessions share it, so ``tracer.recent()`` (and the TCP ``trace``
         #: command) sees requests from every worker.
-        self.tracer = tracer
-        self.slow_query_seconds = slow_query_seconds
+        self.tracer = resolved.tracer
+        self.slow_query_seconds = resolved.slow_query_seconds
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_limit or 0)
         self._workers: list[threading.Thread] = []
         self._latencies = LatencyRecorder()
@@ -459,9 +481,11 @@ class Server:
         session = Session(
             self.database,
             cache=self.plan_cache,
-            tracer=self.tracer,
-            metrics=self.metrics,
-            slow_query_seconds=self.slow_query_seconds,
+            options=self.options.replace(
+                tracer=self.tracer,
+                metrics=self.metrics,
+                slow_query_seconds=self.slow_query_seconds,
+            ),
         )
         while True:
             item = self._queue.get()

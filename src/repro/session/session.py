@@ -33,8 +33,10 @@ import time
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple as PyTuple
 
+from .._legacy import UNSET, resolve_options
 from ..core.cost import cost_annotations
 from ..core.exceptions import ParameterError, error_code
+from ..options import ExecutionOptions
 from ..faults import FAULTS, ExecutionControl
 from ..core.operations import Operation
 from ..core.query import QueryResultSpec
@@ -118,12 +120,28 @@ class Session:
         database: Optional[TemporalDatabase] = None,
         cache_size: int = 128,
         cache: Optional[PlanCache] = None,
-        tracer=None,
-        metrics=None,
-        slow_query_seconds: Optional[float] = None,
-        slow_query_logger=None,
+        tracer=UNSET,
+        metrics=UNSET,
+        slow_query_seconds=UNSET,
+        slow_query_logger=UNSET,
+        options: Optional[ExecutionOptions] = None,
     ) -> None:
-        self.database = database or TemporalDatabase()
+        #: Execution configuration (:class:`~repro.options.ExecutionOptions`).
+        #: ``options=`` is the blessed way to configure observability and the
+        #: batch size; the per-field keywords above are a deprecated shim.
+        #: When neither is given, the database's own options are inherited.
+        resolved = resolve_options(
+            "Session",
+            options,
+            tracer=tracer,
+            metrics=metrics,
+            slow_query_seconds=slow_query_seconds,
+            slow_query_logger=slow_query_logger,
+        )
+        if options is None and not resolved.non_defaults() and database is not None:
+            resolved = database.options
+        self.options = resolved
+        self.database = database or TemporalDatabase(options=resolved)
         #: ``cache`` lets many sessions share one (thread-safe) plan cache —
         #: the serving layer (:mod:`repro.server`) passes its process-wide
         #: cache here, so a statement optimized by any session is a cache
@@ -132,9 +150,11 @@ class Session:
         #: Observability is opt-in and ``None``-gated: without a tracer /
         #: registry / threshold, every instrumentation site below is a
         #: single branch on the default path.
-        self.tracer = tracer
-        self.metrics = metrics
-        self.slow_query_log = SlowQueryLog(slow_query_seconds, logger=slow_query_logger)
+        self.tracer = resolved.tracer
+        metrics = self.metrics = resolved.metrics
+        self.slow_query_log = SlowQueryLog(
+            resolved.slow_query_seconds, logger=resolved.slow_query_logger
+        )
         if metrics is not None:
             self._latency_histogram = metrics.histogram(
                 "repro_request_seconds",
@@ -266,6 +286,7 @@ class Session:
             snapshot.dbms if snapshot is not None else self.database.dbms,
             clock=None if trace is None else tracer.clock,
             control=control,
+            batch_size=self.options.batch_size,
         )
         execute_started = time.perf_counter()
         if trace is None:
@@ -503,7 +524,9 @@ class Session:
             # executing the plan at all.  The session's tracer clock (when
             # present) keeps tests deterministic.
             clock = self.tracer.clock if self.tracer is not None else time.perf_counter
-            executor = StratumExecutor(database.dbms, clock=clock)
+            executor = StratumExecutor(
+                database.dbms, clock=clock, batch_size=self.options.batch_size
+            )
             relation = executor.execute(bound)
             report = executor.report
             result_rows = len(relation)
@@ -547,6 +570,7 @@ class Session:
             dbms_calls=None if report is None else report.dbms_calls,
             transferred_tuples=None if report is None else report.transferred_tuples,
             result_rows=result_rows,
+            batch_size=self.options.batch_size if analyze else None,
             execute_seconds=execute_seconds,
         )
 

@@ -42,6 +42,7 @@ from ..core.operations.base import EvaluationContext
 from ..core.relation import Relation
 from ..dbms.engine import ConventionalDBMS
 from ..dbms.executor import OperatorSpan
+from .columnar import DEFAULT_BATCH_SIZE
 from .physical import is_pipelined, lower_plan
 from .temporal_exec import (
     coalesce_fast,
@@ -89,9 +90,13 @@ class StratumExecutor:
         optimize_dbms_fragments: bool = True,
         clock: Optional[Callable[[], float]] = None,
         control=None,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
     ) -> None:
         self._dbms = dbms
         self._optimize_dbms_fragments = optimize_dbms_fragments
+        #: Chunk size of the columnar physical engine; ``None`` selects the
+        #: tuple-at-a-time pipeline (see :mod:`repro.stratum.physical`).
+        self._batch_size = batch_size
         #: With a ``clock`` (a monotonic callable; observability on) the
         #: report also carries per-node wall-clock intervals and the timed
         #: operator drains inside DBMS fragments.  Without one — the
@@ -176,7 +181,9 @@ class StratumExecutor:
         "stop", not "this operator is broken" — and propagate unchanged.
         """
         try:
-            root = lower_plan(node, path, self._execute_stratum)
+            root = lower_plan(
+                node, path, self._execute_stratum, batch_size=self._batch_size
+            )
             if self._clock is not None or self._control is not None:
                 for operator in root.operators():
                     operator._timer = self._clock

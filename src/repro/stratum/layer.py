@@ -34,6 +34,8 @@ from ..core.rules import DEFAULT_RULES
 from ..core.rules.base import TransformationRule
 from ..core.schema import RelationSchema
 from ..dbms.engine import ConventionalDBMS
+from .._legacy import UNSET, resolve_options
+from ..options import ExecutionOptions
 from ..search import MemoSearch, SearchOptions, SearchResult
 from .executor import StratumExecutionReport, StratumExecutor
 from .partition import describe_partition
@@ -205,22 +207,39 @@ class TemporalQueryOptimizer:
 
 
 class TemporalDatabase:
-    """A temporal DBMS realised as a stratum on top of a conventional DBMS."""
+    """A temporal DBMS realised as a stratum on top of a conventional DBMS.
+
+    Execution configuration comes from an
+    :class:`~repro.options.ExecutionOptions` (``options=``); the historic
+    ``optimize_queries=``/``use_statistics=`` keywords still work through
+    the deprecation shim.  ``repro.connect()`` is the blessed constructor
+    wrapper.
+    """
 
     def __init__(
         self,
         dbms: Optional[ConventionalDBMS] = None,
         optimizer: Optional[TemporalQueryOptimizer] = None,
-        optimize_queries: bool = True,
-        use_statistics: bool = False,
+        optimize_queries: "bool | object" = UNSET,
+        use_statistics: "bool | object" = UNSET,
+        options: Optional[ExecutionOptions] = None,
     ) -> None:
-        self.dbms = dbms or ConventionalDBMS(use_statistics=use_statistics)
-        self.optimizer = optimizer or TemporalQueryOptimizer()
-        self.optimize_queries = optimize_queries
+        options = resolve_options(
+            "TemporalDatabase",
+            options,
+            optimize_queries=optimize_queries,
+            use_statistics=use_statistics,
+        )
+        #: The resolved execution configuration; sessions created through
+        #: :meth:`session` inherit it.
+        self.options = options
+        self.dbms = dbms or ConventionalDBMS(use_statistics=options.use_statistics)
+        self.optimizer = optimizer or TemporalQueryOptimizer(strategy=options.strategy)
+        self.optimize_queries = options.optimize_queries
         #: When True, every optimization consumes a fresh histogram-backed
         #: estimator built from the catalog (see :mod:`repro.stats`) instead
         #: of the cost model's fixed selectivity/overlap constants.
-        self.use_statistics = use_statistics
+        self.use_statistics = options.use_statistics
         #: Lazily created default session backing :meth:`execute_tsql`.
         self._default_session = None
 
@@ -307,7 +326,7 @@ class TemporalDatabase:
         """
         from ..session import Session
 
-        return Session(self, cache_size=cache_size)
+        return Session(self, cache_size=cache_size, options=self.options)
 
     def execute_tsql(self, statement: str, params: Sequence[object] = ()):
         """Run a statement through the cached session lifecycle.
@@ -367,7 +386,7 @@ class TemporalDatabase:
     def execute_plan(self, initial_plan: Operation, query_spec: QueryResultSpec) -> QueryOutcome:
         """Optimize (optionally) and execute an algebra plan."""
         optimization = self.optimize_plan(initial_plan, query_spec)
-        executor = StratumExecutor(self.dbms)
+        executor = StratumExecutor(self.dbms, batch_size=self.options.batch_size)
         relation = executor.execute(optimization.chosen_plan)
         return QueryOutcome(
             relation=relation,
@@ -378,7 +397,7 @@ class TemporalDatabase:
 
     def run_plan(self, plan: Operation) -> Relation:
         """Execute a plan as-is (no optimization)."""
-        executor = StratumExecutor(self.dbms)
+        executor = StratumExecutor(self.dbms, batch_size=self.options.batch_size)
         return executor.execute(plan)
 
     def evaluate_reference(self, plan: Operation) -> Relation:

@@ -16,8 +16,17 @@ projection, sort, the products and the join idioms) to iterator operators:
   projection items compiled once per query (:meth:`Expression.compile`)
   instead of tree-walked once per tuple.
 
-Every operator is **list-compatible** with the reference semantics: it
-yields the *identical tuple sequence*, only faster.  The same guarantee —
+Operators execute in one of two modes.  The default is **columnar**: they
+exchange :class:`~repro.stratum.columnar.ColumnBatch` chunks through
+:meth:`StratumOperator.next_batch`, run predicates/projections as
+column-wise kernels (:meth:`Expression.compile_batch`), join and sort on
+plain value rows, and materialize :class:`~repro.core.tuples.Tuple` objects
+only at operator-tree boundaries.  Setting ``batch_size=None`` selects the
+original tuple-at-a-time pipeline, kept intact both as the reference for
+the columnar differential tests and as the degradation path.
+
+Every operator is **list-compatible** with the reference semantics in both
+modes: it yields the *identical tuple sequence*, only faster.  The same guarantee —
 and the same reason — as :mod:`repro.stratum.temporal_exec`: several
 temporal operations are order-sensitive (Section 6), so a merely
 multiset-equivalent result could change the answer of an enclosing
@@ -51,6 +60,7 @@ from ..core.period import T1, T2
 from ..core.relation import Relation
 from ..core.schema import RelationSchema
 from ..core.tuples import Tuple
+from .columnar import BatchBuilder, ColumnBatch, DEFAULT_BATCH_SIZE
 
 #: Logical node types the stratum lowers to pipelined operators.
 PIPELINED_TYPES = (
@@ -116,7 +126,17 @@ def _interval_function(
 
 
 class StratumOperator:
-    """An iterator of tuples in the exact reference sequence.
+    """A batch-producing operator yielding the exact reference sequence.
+
+    The primary pull interface is :meth:`next_batch` /:meth:`batches`:
+    operators exchange :class:`~repro.stratum.columnar.ColumnBatch` chunks
+    and concatenating an operator's batches row-wise gives the identical
+    tuple sequence the reference semantics produce.  ``__iter__`` remains as
+    a thin adapter over the batch stream (and as the complete
+    tuple-at-a-time engine when ``batch_size`` is ``None``), so everything
+    built on the iterator contract — the executor, EXPLAIN ANALYZE row
+    accounting, the differential suite — keeps working unchanged at chunk
+    boundaries.
 
     ``paths`` names the logical plan nodes this operator realises (a fused
     selection-over-product realises two); ``paths[0]`` is the node whose
@@ -132,9 +152,12 @@ class StratumOperator:
     control it assigns ``_control``
     (:class:`~repro.faults.control.ExecutionControl`); the drain then ticks
     the ``stratum.pull`` fault point — once at start and every
-    ``control.interval`` tuples — which is where cancellation, deadlines,
-    resource budgets and fault injection interpose.  The plain path is the
-    default and costs exactly two extra branches per drain.
+    ``control.interval`` tuples (the batch drain ticks once per interval
+    *boundary crossed*, so the check count, and with it the resource-guard
+    row accounting, is identical for every batch size) — which is where
+    cancellation, deadlines, resource budgets and fault injection
+    interpose.  The plain path is the default and costs exactly two extra
+    branches per drain.
     """
 
     #: The fault point this layer's pull loops tick (see :mod:`repro.faults`).
@@ -150,12 +173,81 @@ class StratumOperator:
         self.order = order
         self.paths = paths
         self.rows_out: Optional[int] = None
+        self.batch_size: Optional[int] = DEFAULT_BATCH_SIZE
         self._timer: Optional[Callable[[], float]] = None
         self._control = None
+        self._batch_stream: Optional[Iterator[ColumnBatch]] = None
         self.started_at: Optional[float] = None
         self.elapsed_seconds: Optional[float] = None
 
+    # -- the batch protocol ----------------------------------------------------
+
+    def next_batch(self) -> Optional[ColumnBatch]:
+        """Pull the next output chunk; ``None`` once exhausted.
+
+        The first call starts the drain (and the timing/control accounting
+        of :meth:`batches`); subsequent calls continue it.
+        """
+        stream = self._batch_stream
+        if stream is None:
+            stream = self._batch_stream = self.batches()
+        return next(stream, None)
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        """The operator's output as a stream of column batches.
+
+        This wrapper owns the per-drain accounting: row counting for
+        EXPLAIN ANALYZE, inclusive wall-clock under observability, and
+        control ticks under cancellation/resource guards — the batch-mode
+        counterpart of the accounting ``__iter__`` does per tuple.
+        """
+        clock = self._timer
+        control = self._control
+        if clock is not None:
+            self.started_at = clock()
+        count = 0
+        if control is None:
+            for batch in self._batches():
+                count += batch.length
+                yield batch
+        else:
+            control.tick(self.FAULT_POINT)
+            interval = control.interval
+            for batch in self._batches():
+                before = count
+                count += batch.length
+                for _ in range(count // interval - before // interval):
+                    control.tick(self.FAULT_POINT)
+                yield batch
+        self.rows_out = count
+        if clock is not None:
+            self.elapsed_seconds = clock() - self.started_at
+
+    def _batches(self) -> Iterator[ColumnBatch]:
+        """The operator's batch implementation, without accounting.
+
+        The base implementation re-chunks :meth:`_iterate`, so an operator
+        without a vectorized kernel is batch-correct by default; every
+        shipped operator overrides this with a columnar implementation.
+        """
+        size = self.batch_size or DEFAULT_BATCH_SIZE
+        schema = self.output_schema
+        chunk: List[Tuple] = []
+        for tup in self._iterate():
+            chunk.append(tup)
+            if len(chunk) >= size:
+                yield ColumnBatch.from_tuples(schema, chunk)
+                chunk = []
+        if chunk:
+            yield ColumnBatch.from_tuples(schema, chunk)
+
+    # -- the iterator adapter --------------------------------------------------
+
     def __iter__(self) -> Iterator[Tuple]:
+        if self.batch_size is not None:
+            for batch in self.batches():
+                yield from batch.to_tuples()
+            return
         clock = self._timer
         control = self._control
         if clock is not None:
@@ -189,9 +281,25 @@ class StratumOperator:
         for child in self.children():
             yield from child.operators()
 
+    def set_batch_size(self, batch_size: Optional[int]) -> None:
+        """Configure the whole operator tree's chunk size.
+
+        ``None`` selects the tuple-at-a-time engine (the pre-columnar
+        pipeline, kept as the degradation-friendly reference
+        implementation); any positive integer selects the columnar engine
+        with that chunk size.
+        """
+        for operator in self.operators():
+            operator.batch_size = batch_size
+
     def to_relation(self) -> Relation:
         """Drain the operator into a relation carrying the derived order."""
-        return Relation(self.output_schema, list(self), order=self.order)
+        if self.batch_size is None:
+            return Relation(self.output_schema, list(self), order=self.order)
+        tuples: List[Tuple] = []
+        for batch in self.batches():
+            tuples.extend(batch.to_tuples())
+        return Relation(self.output_schema, tuples, order=self.order)
 
     def describe(self) -> str:
         return type(self).__name__
@@ -206,6 +314,16 @@ class SourceOp(StratumOperator):
 
     def _iterate(self) -> Iterator[Tuple]:
         return iter(self._relation)
+
+    def _batches(self) -> Iterator[ColumnBatch]:
+        # The source boundary is where tuples become columns; permuted
+        # attribute orders are normalized here so every kernel upstream is
+        # purely positional.
+        size = self.batch_size or DEFAULT_BATCH_SIZE
+        schema = self.output_schema
+        tuples = self._relation.tuples
+        for offset in range(0, len(tuples), size):
+            yield ColumnBatch.from_tuples(schema, tuples[offset : offset + size])
 
     def describe(self) -> str:
         return f"Source(rows={len(self._relation)})"
@@ -223,6 +341,7 @@ class FilterOp(StratumOperator):
     ) -> None:
         super().__init__(child.output_schema, order, paths)
         self._predicate = guarded_compile(predicate, child.output_schema)
+        self._predicate_expression = predicate
         self._child = child
 
     def _iterate(self) -> Iterator[Tuple]:
@@ -230,6 +349,18 @@ class FilterOp(StratumOperator):
         for tup in self._child:
             if predicate(tup):
                 yield tup
+
+    def _batches(self) -> Iterator[ColumnBatch]:
+        kernel = self._predicate_expression.compile_batch(self._child.output_schema)
+        for batch in self._child.batches():
+            flags = kernel(batch.columns, batch.length)
+            selected = [i for i in range(batch.length) if flags[i]]
+            if not selected:
+                continue
+            if len(selected) == batch.length:
+                yield batch
+            else:
+                yield batch.take(selected)
 
     def children(self) -> Sequence[StratumOperator]:
         return (self._child,)
@@ -251,6 +382,7 @@ class ProjectOp(StratumOperator):
     ) -> None:
         super().__init__(output_schema, order, paths)
         child_schema = child.output_schema
+        self._items = tuple(items)
         self._columns = tuple(
             (item.output_name, guarded_compile(item, child_schema)) for item in items
         )
@@ -261,6 +393,14 @@ class ProjectOp(StratumOperator):
         columns = self._columns
         for tup in self._child:
             yield Tuple(schema, {name: expression(tup) for name, expression in columns})
+
+    def _batches(self) -> Iterator[ColumnBatch]:
+        child_schema = self._child.output_schema
+        kernels = tuple(item.compile_batch(child_schema) for item in self._items)
+        schema = self.output_schema
+        for batch in self._child.batches():
+            columns = [kernel(batch.columns, batch.length) for kernel in kernels]
+            yield ColumnBatch(schema, columns, batch.length)
 
     def children(self) -> Sequence[StratumOperator]:
         return (self._child,)
@@ -286,6 +426,20 @@ class SortOp(StratumOperator):
     def _iterate(self) -> Iterator[Tuple]:
         key = self._sort_order.comparison_key()
         return iter(sorted(self._child, key=key))
+
+    def _batches(self) -> Iterator[ColumnBatch]:
+        size = self.batch_size or DEFAULT_BATCH_SIZE
+        schema = self.output_schema
+        rows: List[PyTuple] = []
+        for batch in self._child.batches():
+            rows.extend(batch.rows())
+        if not rows:
+            return
+        # Stable sort over value rows — input order is the tie-breaker, the
+        # same sequence the tuple path's sorted(child, comparison_key) yields.
+        rows.sort(key=self._sort_order.positional_key(schema.attributes))
+        for offset in range(0, len(rows), size):
+            yield ColumnBatch.from_rows(schema, rows[offset : offset + size])
 
     def children(self) -> Sequence[StratumOperator]:
         return (self._child,)
@@ -325,12 +479,10 @@ class _JoinOp(StratumOperator):
         if split.temporal:
             left_schema = left.output_schema
             right_schema = right.output_schema
-            self._left_period = _interval_function(
-                left_schema, left_schema.index_of(T1), left_schema.index_of(T2)
-            )
-            self._right_period = _interval_function(
-                right_schema, right_schema.index_of(T1), right_schema.index_of(T2)
-            )
+            self._left_time = (left_schema.index_of(T1), left_schema.index_of(T2))
+            self._right_time = (right_schema.index_of(T1), right_schema.index_of(T2))
+            self._left_period = _interval_function(left_schema, *self._left_time)
+            self._right_period = _interval_function(right_schema, *self._right_time)
 
     def children(self) -> Sequence[StratumOperator]:
         return (self._left, self._right)
@@ -350,6 +502,50 @@ class _JoinOp(StratumOperator):
         if self._residual is not None and not self._residual(joined):
             return None
         return joined
+
+    # -- columnar machinery ----------------------------------------------------
+
+    def _residual_kernel(self):
+        """The residual predicate compiled column-wise, or ``None``."""
+        residual = self._split.residual
+        if residual is None:
+            return None
+        return residual.compile_batch(self.output_schema)
+
+    def _filtered(self, batch: ColumnBatch, kernel) -> Optional[ColumnBatch]:
+        """Apply the residual kernel to an output chunk; None when empty."""
+        if kernel is None:
+            return batch
+        flags = kernel(batch.columns, batch.length)
+        selected = [i for i in range(batch.length) if flags[i]]
+        if not selected:
+            return None
+        if len(selected) == batch.length:
+            return batch
+        return batch.take(selected)
+
+    def _output_batches(self, rows: "Iterator[PyTuple]") -> Iterator[ColumnBatch]:
+        """Re-chunk joined value rows and apply the residual per chunk."""
+        builder = BatchBuilder(self.output_schema, self.batch_size or DEFAULT_BATCH_SIZE)
+        kernel = self._residual_kernel()
+        for row in rows:
+            full = builder.add(row)
+            if full is not None:
+                filtered = self._filtered(full, kernel)
+                if filtered is not None:
+                    yield filtered
+        tail = builder.flush()
+        if tail is not None:
+            filtered = self._filtered(tail, kernel)
+            if filtered is not None:
+                yield filtered
+
+    def _batches(self) -> Iterator[ColumnBatch]:
+        return self._output_batches(self._join_rows())
+
+    def _join_rows(self) -> "Iterator[PyTuple]":
+        """Joined value rows (pre-residual), in the reference sequence."""
+        raise NotImplementedError
 
 
 class HashJoinOp(_JoinOp):
@@ -390,6 +586,64 @@ class HashJoinOp(_JoinOp):
                     joined = self._emit(left_tuple, right_tuple, None)
                     if joined is not None:
                         yield joined
+
+    def _join_rows(self) -> Iterator[PyTuple]:
+        split = self._split
+        left_indexes = tuple(split.equi_left_indexes)
+        right_indexes = tuple(split.equi_right_indexes)
+        # Single-attribute keys (the common case) probe on the bare value —
+        # scalars hash like their 1-tuples but cost no allocation per row.
+        single = len(left_indexes) == 1
+        temporal = self._temporal
+        if temporal:
+            lt1, lt2 = self._left_time
+            rt1, rt2 = self._right_time
+        table: dict = {}
+        for batch in self._right.batches():
+            columns = batch.columns
+            key_columns = [columns[i] for i in right_indexes]
+            keys = (
+                key_columns[0]
+                if single
+                else [tuple(column[i] for column in key_columns) for i in range(batch.length)]
+            )
+            if temporal:
+                starts, ends = columns[rt1], columns[rt2]
+                for position, row in enumerate(batch.rows()):
+                    entry = (row, starts[position], ends[position])
+                    table.setdefault(keys[position], []).append(entry)
+            else:
+                for position, row in enumerate(batch.rows()):
+                    table.setdefault(keys[position], []).append(row)
+        get_bucket = table.get
+        for batch in self._left.batches():
+            columns = batch.columns
+            key_columns = [columns[i] for i in left_indexes]
+            keys = (
+                key_columns[0]
+                if single
+                else [tuple(column[i] for column in key_columns) for i in range(batch.length)]
+            )
+            if temporal:
+                starts, ends = columns[lt1], columns[lt2]
+                for position, row in enumerate(batch.rows()):
+                    bucket = get_bucket(keys[position])
+                    if not bucket:
+                        continue
+                    l1, l2 = starts[position], ends[position]
+                    for right_row, r1, r2 in bucket:
+                        start = l1 if l1 > r1 else r1
+                        end = l2 if l2 < r2 else r2
+                        if start >= end:
+                            continue
+                        yield row + right_row + (start, end)
+            else:
+                for position, row in enumerate(batch.rows()):
+                    bucket = get_bucket(keys[position])
+                    if not bucket:
+                        continue
+                    for right_row in bucket:
+                        yield row + right_row
 
 
 class IntervalJoinOp(_JoinOp):
@@ -437,6 +691,45 @@ class IntervalJoinOp(_JoinOp):
                 if joined is not None:
                     yield joined
 
+    def _join_rows(self) -> Iterator[PyTuple]:
+        split = self._split
+        if split.temporal:
+            ls, le = self._left_time
+            rs, re = self._right_time
+        else:
+            ls, le, rs, re = split.overlap_indexes
+        entries: List[PyTuple] = []  # (start, position, end, row)
+        position = 0
+        for batch in self._right.batches():
+            columns = batch.columns
+            starts_column, ends_column = columns[rs], columns[re]
+            for offset, row in enumerate(batch.rows()):
+                entries.append((starts_column[offset], position, ends_column[offset], row))
+                position += 1
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        starts = [entry[0] for entry in entries]
+        temporal = self._temporal
+        for batch in self._left.batches():
+            columns = batch.columns
+            left_starts, left_ends = columns[ls], columns[le]
+            for offset, row in enumerate(batch.rows()):
+                l1, l2 = left_starts[offset], left_ends[offset]
+                limit = bisect_left(starts, l2)
+                matches = [
+                    (entry_position, start, end, right_row)
+                    for start, entry_position, end, right_row in entries[:limit]
+                    if end > l1
+                ]
+                matches.sort()
+                if temporal:
+                    for entry_position, r1, r2, right_row in matches:
+                        start = l1 if l1 > r1 else r1
+                        end = l2 if l2 < r2 else r2
+                        yield row + right_row + (start, end)
+                else:
+                    for entry_position, r1, r2, right_row in matches:
+                        yield row + right_row
+
 
 class NestedLoopJoinOp(_JoinOp):
     """Streaming nested loop — the fallback when the predicate offers no
@@ -464,6 +757,15 @@ class NestedLoopJoinOp(_JoinOp):
                 if joined is not None:
                     yield joined
 
+    def _join_rows(self) -> Iterator[PyTuple]:
+        right_rows: List[PyTuple] = []
+        for batch in self._right.batches():
+            right_rows.extend(batch.rows())
+        for batch in self._left.batches():
+            for row in batch.rows():
+                for right_row in right_rows:
+                    yield row + right_row
+
 
 _JOIN_OPERATORS = {
     "hash": HashJoinOp,
@@ -477,17 +779,39 @@ _JOIN_OPERATORS = {
 # ---------------------------------------------------------------------------
 
 
+#: Sentinel distinguishing "no batch-size override" from an explicit ``None``
+#: (which selects the tuple-at-a-time engine).
+_KEEP_BATCH_SIZE = object()
+
+
 def lower_plan(
     node: Operation,
     path: PlanPath,
     fetch: Callable[[Operation, PlanPath], Relation],
+    batch_size: "Optional[int] | object" = _KEEP_BATCH_SIZE,
 ) -> StratumOperator:
     """Lower a pipelinable logical subtree to a physical operator tree.
 
     ``fetch`` materialises boundary subtrees (transfers, base relations, the
     temporal operations with their own fast paths) through the executor's
     ordinary recursion, which keeps their per-node accounting.
+
+    ``batch_size`` (keyword, optional) configures the built tree's chunk
+    size: a positive integer selects the columnar engine with that chunk
+    size, ``None`` the tuple-at-a-time engine; omitted, operators keep the
+    default (:data:`~repro.stratum.columnar.DEFAULT_BATCH_SIZE`).
     """
+    root = _lower_node(node, path, fetch)
+    if batch_size is not _KEEP_BATCH_SIZE:
+        root.set_batch_size(batch_size)  # type: ignore[arg-type]
+    return root
+
+
+def _lower_node(
+    node: Operation,
+    path: PlanPath,
+    fetch: Callable[[Operation, PlanPath], Relation],
+) -> StratumOperator:
     if isinstance(node, Selection):
         fused = split_for_selection(node)
         if fused is not None:
@@ -527,7 +851,7 @@ def _lower_child(
     fetch: Callable[[Operation, PlanPath], Relation],
 ) -> StratumOperator:
     if is_pipelined(node):
-        return lower_plan(node, path, fetch)
+        return _lower_node(node, path, fetch)
     return SourceOp(fetch(node, path))
 
 

@@ -1,0 +1,246 @@
+"""The columnar batch engine: identical results at every chunking.
+
+The stratum's physical operators execute columnar ``ColumnBatch`` chunks by
+default (see ``docs/architecture.md#columnar-execution``).  Because the
+algebra is list-based, correctness is *sequence* identity, not multiset
+identity — so the contract tested here is strict: for any join-shaped plan
+and any batch size (including 1, sizes that straddle operator boundaries,
+and sizes larger than the input), the batch engine must produce the
+byte-identical tuple sequence of the tuple-at-a-time pipeline and of the
+reference semantics, with the same per-operator row accounting and the
+same control-tick cadence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.expressions import (
+    AttributeRef,
+    Comparison,
+    ComparisonOperator,
+    Literal,
+    positional_guard,
+)
+from repro.core.operations import LiteralRelation, Selection
+from repro.core.operations.base import EvaluationContext
+from repro.core.relation import Relation
+from repro.core.schema import INTEGER, RelationSchema, STRING
+from repro.core.tuples import Tuple
+from repro.dbms.engine import ConventionalDBMS
+from repro.faults import ExecutionControl
+from repro.session import Session
+from repro.stratum.columnar import BatchBuilder, ColumnBatch, DEFAULT_BATCH_SIZE
+from repro.stratum.executor import StratumExecutor
+from repro.options import (
+    DEFAULT_BATCH_SIZE as OPTIONS_DEFAULT_BATCH_SIZE,
+    ExecutionOptions,
+)
+from repro.workloads import employee_relation, project_relation
+
+from .strategies import TEMPORAL_SCHEMA, join_shaped_plans
+
+CONTEXT = EvaluationContext()
+
+#: The swept chunkings: degenerate (1), boundary-straddling small sizes,
+#: a mid size, and one larger than any generated input.
+BATCH_SIZES = (1, 2, 7, 64, 4096)
+
+
+def run_stratum(plan, batch_size):
+    return StratumExecutor(ConventionalDBMS(), batch_size=batch_size).execute(plan)
+
+
+def assert_list_identical(fast: Relation, reference: Relation):
+    assert fast.schema.attributes == reference.schema.attributes
+    assert list(fast.tuples) == list(reference.tuples)
+
+
+class TestChunkingDifferential:
+    """Every batch size produces the reference tuple sequence."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(join_shaped_plans())
+    def test_all_batch_sizes_match_reference(self, plan):
+        reference = plan.evaluate(CONTEXT)
+        for batch_size in BATCH_SIZES:
+            assert_list_identical(run_stratum(plan, batch_size), reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(join_shaped_plans())
+    def test_batch_and_tuple_modes_agree(self, plan):
+        tuple_mode = run_stratum(plan, None)
+        for batch_size in (1, 7, 4096):
+            assert_list_identical(run_stratum(plan, batch_size), tuple_mode)
+
+
+class TestAccountingParity:
+    """Row counts and control ticks are chunking-independent."""
+
+    def _session(self, batch_size):
+        session = Session(options=ExecutionOptions(batch_size=batch_size))
+        session.database.register("EMPLOYEE", employee_relation())
+        session.database.register("PROJECT", project_relation())
+        return session
+
+    STATEMENT = (
+        "SELECT DISTINCT EmpName FROM EMPLOYEE "
+        "EXCEPT TEMPORAL SELECT EmpName FROM PROJECT "
+        "ORDER BY EmpName COALESCE"
+    )
+
+    def test_explain_analyze_actuals_agree_across_chunkings(self):
+        reference = self._session(None).explain(self.STATEMENT)
+        expected = {line.path: line.actual_rows for line in reference.lines}
+        for batch_size in (1, 7, 4096):
+            report = self._session(batch_size).explain(self.STATEMENT)
+            actuals = {line.path: line.actual_rows for line in report.lines}
+            assert actuals == expected
+            assert report.result_rows == reference.result_rows
+
+    def test_explain_render_shows_the_batch_size(self):
+        assert "batch size=7" in self._session(7).explain(self.STATEMENT).render()
+        assert (
+            "batch size=tuple-at-a-time"
+            in self._session(None).explain(self.STATEMENT).render()
+        )
+
+    def test_plain_explain_shows_no_batch_size(self):
+        report = self._session(7).explain(self.STATEMENT, analyze=False)
+        assert report.batch_size is None
+        assert "batch size" not in report.render()
+
+    def test_tick_cadence_is_chunking_independent(self):
+        rows = [("N%03d" % i, "Sales" if i % 3 else "Ads", 1, 5) for i in range(300)]
+        plan = Selection(
+            Comparison(ComparisonOperator.NE, AttributeRef("Dept"), Literal("Ads")),
+            LiteralRelation(Relation.from_rows(TEMPORAL_SCHEMA, rows)),
+        )
+
+        class CountingControl(ExecutionControl):
+            def __init__(self):
+                super().__init__()
+                self.ticks = 0
+
+            def tick(self, point):
+                self.ticks += 1
+                super().tick(point)
+
+        def ticks(batch_size):
+            control = CountingControl()
+            executor = StratumExecutor(
+                ConventionalDBMS(), control=control, batch_size=batch_size
+            )
+            executor.execute(plan)
+            return control.ticks
+
+        reference = ticks(None)
+        assert reference > 2  # 300 rows at interval 128: the loop really ticked
+        for batch_size in (1, 7, 64, 4096):
+            assert ticks(batch_size) == reference
+
+
+class TestColumnBatch:
+    """The container itself: construction, permutation normalization, rebuild."""
+
+    SCHEMA = RelationSchema.snapshot([("Name", STRING), ("Amount", INTEGER)], name="C")
+
+    def test_round_trips_tuples(self):
+        tuples = [
+            Tuple(self.SCHEMA, {"Name": "John", "Amount": 1}),
+            Tuple(self.SCHEMA, {"Name": "Anna", "Amount": 2}),
+        ]
+        batch = ColumnBatch.from_tuples(self.SCHEMA, tuples)
+        assert batch.length == 2
+        assert batch.columns == [["John", "Anna"], [1, 2]]
+        assert list(batch.rows()) == [("John", 1), ("Anna", 2)]
+        assert batch.to_tuples() == tuples
+
+    def test_normalizes_permuted_tuples_at_the_boundary(self):
+        permuted = RelationSchema.snapshot(
+            [("Amount", INTEGER), ("Name", STRING)], name="C"
+        )
+        batch = ColumnBatch.from_tuples(
+            self.SCHEMA, [Tuple(permuted, {"Amount": 3, "Name": "Mia"})]
+        )
+        assert batch.columns == [["Mia"], [3]]
+        (rebuilt,) = batch.to_tuples()
+        assert rebuilt.schema.attributes == self.SCHEMA.attributes
+        assert rebuilt["Name"] == "Mia" and rebuilt["Amount"] == 3
+
+    def test_take_gathers_a_selection(self):
+        batch = ColumnBatch(self.SCHEMA, [["a", "b", "c"], [1, 2, 3]], 3)
+        taken = batch.take([0, 2])
+        assert taken.columns == [["a", "c"], [1, 3]]
+        assert taken.length == 2
+
+    def test_builder_chunks_at_the_configured_size(self):
+        builder = BatchBuilder(self.SCHEMA, 2)
+        emitted = [b for row in [("a", 1), ("b", 2), ("c", 3)] if (b := builder.add(row))]
+        assert [b.length for b in emitted] == [2]
+        tail = builder.flush()
+        assert tail is not None and tail.length == 1
+        assert builder.flush() is None
+
+    def test_trusted_tuples_equal_validated_tuples(self):
+        validated = Tuple(self.SCHEMA, {"Name": "John", "Amount": 1})
+        trusted = Tuple.trusted(self.SCHEMA, ("John", 1))
+        assert trusted == validated
+        assert hash(trusted) == hash(validated)
+        assert trusted["Amount"] == 1
+
+    def test_default_batch_size_constants_agree(self):
+        # repro.options re-declares the constant to stay a leaf module.
+        assert OPTIONS_DEFAULT_BATCH_SIZE == DEFAULT_BATCH_SIZE
+        assert ExecutionOptions().batch_size == DEFAULT_BATCH_SIZE
+
+
+class TestPermutationCache:
+    """The positional guard recompiles once per distinct attribute order."""
+
+    SCHEMA = RelationSchema.snapshot([("Name", STRING), ("Amount", INTEGER)], name="C")
+    PERMUTED = RelationSchema.snapshot([("Amount", INTEGER), ("Name", STRING)], name="C")
+
+    def test_recompile_runs_once_per_layout(self):
+        expression = Comparison(
+            ComparisonOperator.GT, AttributeRef("Amount"), Literal(1)
+        )
+        compiles = []
+
+        def counting_compile(schema):
+            compiles.append(schema.attributes)
+            return expression.compile(schema)
+
+        guarded = positional_guard(
+            self.SCHEMA,
+            expression.compile(self.SCHEMA),
+            expression.evaluate,
+            recompile=counting_compile,
+        )
+        aligned = Tuple(self.SCHEMA, {"Name": "John", "Amount": 1})
+        permuted = [
+            Tuple(self.PERMUTED, {"Amount": i, "Name": "Anna"}) for i in range(50)
+        ]
+        assert guarded(aligned) is False
+        results = [guarded(tup) for tup in permuted]
+        assert results == [i > 1 for i in range(50)]
+        # 50 permuted tuples, one layout: exactly one recompilation.
+        assert compiles == [("Amount", "Name")]
+
+    def test_guard_without_recompiler_uses_the_fallback(self):
+        expression = Comparison(
+            ComparisonOperator.GT, AttributeRef("Amount"), Literal(1)
+        )
+        guarded = positional_guard(
+            self.SCHEMA, expression.compile(self.SCHEMA), expression.evaluate
+        )
+        assert guarded(Tuple(self.PERMUTED, {"Amount": 5, "Name": "Mia"})) is True
+
+
+class TestBatchSizeValidation:
+    def test_executor_rejects_nonpositive_sizes_via_options(self):
+        with pytest.raises(ValueError):
+            ExecutionOptions(batch_size=0)
+        with pytest.raises(ValueError):
+            ExecutionOptions(batch_size=-3)

@@ -47,6 +47,7 @@ def test_site_builds_with_no_broken_links(tmp_path):
         "server.html",
         "observability.html",
         "robustness.html",
+        "api/execution_options.html",
         "api/session.html",
         "api/temporaldatabase.html",
         "api/memosearch.html",

@@ -1,0 +1,176 @@
+"""The redesigned configuration surface: ``ExecutionOptions`` everywhere.
+
+One frozen options object rides through all three constructors
+(``TemporalDatabase``, ``Session``, ``Server``); the pre-existing
+per-constructor keywords keep working through a shim that emits exactly one
+``DeprecationWarning`` per constructor call.  These tests pin the
+round-trip, the warning contract, behavioral equivalence of the two
+spellings, and the ``repro.connect`` facade.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import ExecutionOptions, Session, TemporalDatabase, connect
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.server import Server
+from repro.workloads import employee_relation
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestOptionsObject:
+    def test_frozen_and_hashable(self):
+        options = ExecutionOptions(use_statistics=True)
+        with pytest.raises(Exception):
+            options.use_statistics = False
+        assert hash(options) == hash(ExecutionOptions(use_statistics=True))
+
+    def test_replace_derives_variants(self):
+        base = ExecutionOptions(batch_size=64)
+        derived = base.replace(use_statistics=True)
+        assert derived.batch_size == 64 and derived.use_statistics is True
+        assert base.use_statistics is False  # the original is untouched
+
+    def test_non_defaults_names_the_turned_knobs(self):
+        assert ExecutionOptions().non_defaults() == {}
+        assert ExecutionOptions(batch_size=None, cancellation=False).non_defaults() == {
+            "batch_size": None,
+            "cancellation": False,
+        }
+
+
+class TestRoundTrip:
+    """``options=`` reaches execution through every constructor."""
+
+    def test_temporal_database(self):
+        options = ExecutionOptions(use_statistics=True, optimize_queries=False)
+        db = TemporalDatabase(options=options)
+        assert db.options is options
+        assert db.use_statistics is True
+        assert db.optimize_queries is False
+
+    def test_session_inherits_database_options(self):
+        db = TemporalDatabase(options=ExecutionOptions(batch_size=32))
+        assert Session(db).options.batch_size == 32
+        assert db.session().options.batch_size == 32
+
+    def test_session_own_options_win(self):
+        db = TemporalDatabase(options=ExecutionOptions(batch_size=32))
+        session = Session(db, options=ExecutionOptions(batch_size=8))
+        assert session.options.batch_size == 8
+
+    def test_server_applies_options_to_itself_and_workers(self):
+        tracer = Tracer()
+        options = ExecutionOptions(
+            tracer=tracer, cancellation=False, max_rows_per_request=100
+        )
+        server = Server(options=options)
+        assert server.options is options
+        assert server.tracer is tracer
+        assert server.cancellation is False
+        assert server.max_rows_per_request == 100
+        assert server.database.options is options
+
+    def test_server_inherits_database_options(self):
+        db = TemporalDatabase(options=ExecutionOptions(batch_size=16))
+        assert Server(database=db).options.batch_size == 16
+
+    def test_server_defaults_to_a_private_registry(self):
+        assert isinstance(Server().metrics, MetricsRegistry)
+        registry = MetricsRegistry()
+        assert Server(options=ExecutionOptions(metrics=registry)).metrics is registry
+
+
+class TestDeprecationShim:
+    """Legacy keywords work and warn exactly once, naming every keyword."""
+
+    def test_database_legacy_kwargs_warn_once(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            db = TemporalDatabase(use_statistics=True, optimize_queries=False)
+        assert len(caught) == 1
+        message = str(caught[0].message)
+        assert "TemporalDatabase" in message
+        assert "use_statistics" in message and "optimize_queries" in message
+        assert "ExecutionOptions" in message
+        assert db.use_statistics is True and db.optimize_queries is False
+
+    def test_session_legacy_kwargs_warn_once(self):
+        tracer = Tracer()
+        with pytest.warns(DeprecationWarning) as caught:
+            session = Session(tracer=tracer, slow_query_seconds=0.5)
+        assert len(_deprecations(caught)) == 1
+        assert session.tracer is tracer
+        assert session.options.slow_query_seconds == 0.5
+
+    def test_server_legacy_kwargs_warn_once(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            server = Server(cancellation=False, max_rows_per_request=10)
+        assert len(_deprecations(caught)) == 1
+        assert server.cancellation is False and server.max_rows_per_request == 10
+
+    def test_options_path_is_warning_free(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            TemporalDatabase(options=ExecutionOptions(use_statistics=True))
+            Session(options=ExecutionOptions(slow_query_seconds=1.0))
+            with Server(options=ExecutionOptions(cancellation=False)) as server:
+                server.database.register("EMPLOYEE", employee_relation())
+                assert server.query("SELECT EmpName FROM EMPLOYEE").ok
+        assert _deprecations(caught) == []
+
+    def test_both_spellings_behave_identically(self):
+        legacy_db = None
+        with pytest.warns(DeprecationWarning):
+            legacy_db = TemporalDatabase(use_statistics=True)
+        blessed_db = TemporalDatabase(options=ExecutionOptions(use_statistics=True))
+        for db in (legacy_db, blessed_db):
+            db.register("EMPLOYEE", employee_relation())
+        query = "SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales'"
+        assert list(legacy_db.query(query).tuples) == list(blessed_db.query(query).tuples)
+
+
+class TestFacade:
+    def test_connect_returns_a_wired_database(self):
+        db = connect()
+        assert isinstance(db, TemporalDatabase)
+        assert db.options == ExecutionOptions()
+        custom = connect(ExecutionOptions(batch_size=None))
+        assert custom.options.batch_size is None
+        assert custom.session().options.batch_size is None
+
+    def test_blessed_names_lead_the_public_all(self):
+        blessed = {
+            "connect",
+            "ExecutionOptions",
+            "DEFAULT_BATCH_SIZE",
+            "TemporalDatabase",
+            "Session",
+            "Relation",
+            "RelationSchema",
+            "Tuple",
+            "__version__",
+        }
+        assert blessed <= set(repro.__all__)
+        # The facade names come first: the reading order starts at connect().
+        assert repro.__all__[0] == "connect"
+        for name in blessed:
+            assert getattr(repro, name) is not None
+
+    def test_end_to_end_through_the_facade(self):
+        db = connect(ExecutionOptions(batch_size=8))
+        db.register("EMPLOYEE", employee_relation())
+        result = db.query(
+            "SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Sales' ORDER BY EmpName"
+        )
+        assert [t["EmpName"] for t in result.tuples] == sorted(
+            t["EmpName"] for t in result.tuples
+        )
+        assert result.cardinality > 0

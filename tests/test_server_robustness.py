@@ -92,19 +92,27 @@ class TestWireHygiene:
             with TCPFrontend(server) as front:
                 host, port = front.address
                 with TCPClient(host, port) as client:
+                    # A large ``times`` budget so the client's probe queries
+                    # cannot exhaust the injections mid-loop (which would let
+                    # the blockers finish and the queue drain — a flake).
                     with FAULTS.armed(
-                        "dbms.scan", kind="latency", latency=0.5, times=8
+                        "dbms.scan", kind="latency", latency=0.5, times=200
                     ):
-                        # fill both workers + the one queue slot (tolerating
-                        # the race where a blocker itself gets rejected)...
+                        # fill both workers + the one queue slot; a blocker's
+                        # own submission can race a worker draining the queue
+                        # and be rejected, so retry until exactly three are
+                        # admitted (otherwise the queue has a free slot and
+                        # the probe below is never rejected — a flake)
                         blockers = []
-                        for _ in range(3):
+                        deadline = time.monotonic() + 5.0
+                        while len(blockers) < 3 and time.monotonic() < deadline:
                             try:
                                 blockers.append(
                                     server.submit("SELECT EmpName FROM EMPLOYEE")
                                 )
                             except ServerOverloadedError:
-                                pass
+                                time.sleep(0.01)
+                        assert len(blockers) == 3, "could not fill the pool"
                         overloaded = None
                         for _ in range(20):
                             reply = client.query("SELECT EmpName FROM PROJECT")
